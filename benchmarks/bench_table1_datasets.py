@@ -1,0 +1,73 @@
+"""Table I — cardinality of all LakeBench datasets and search benchmarks.
+
+Regenerates the dataset-statistics table: task type, table counts, average
+rows/columns, split sizes, and the column data-type distribution, for the 8
+fine-tuning datasets plus the Eurostat-subset and Wiki-join search corpora.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import SKETCH_CONFIG, emit
+from repro.eval.experiments import sketch_cache
+from repro.lakebench import (
+    DATASET_BUILDERS,
+    make_eurostat_subset_search,
+    make_wiki_join_search,
+)
+
+SCALE = 0.5
+
+
+@pytest.fixture(scope="module")
+def table1_rows():
+    rows = []
+    for name, builder in DATASET_BUILDERS.items():
+        stats = builder(scale=SCALE).stats()
+        rows.append(
+            {
+                "benchmark": name,
+                "task": stats["task"],
+                "tables": stats["n_tables"],
+                "avg rows": stats["avg_rows"],
+                "avg cols": stats["avg_cols"],
+                "train/test/valid": (
+                    f"{stats['n_train']}/{stats['n_test']}/{stats['n_valid']}"
+                ),
+                "str%": stats["dtype_pct"]["string"],
+                "int%": stats["dtype_pct"]["integer"],
+                "float%": stats["dtype_pct"]["float"],
+                "date%": stats["dtype_pct"]["date"],
+            }
+        )
+    for bench in (
+        make_eurostat_subset_search(scale=SCALE),
+        make_wiki_join_search(scale=SCALE),
+    ):
+        stats = bench.stats()
+        rows.append(
+            {
+                "benchmark": stats["name"],
+                "task": "Search",
+                "tables": stats["n_tables"],
+                "avg rows": stats["avg_rows"],
+                "avg cols": stats["avg_cols"],
+                "train/test/valid": f"queries={stats['n_queries']}",
+                "str%": stats["dtype_pct"]["string"],
+                "int%": stats["dtype_pct"]["integer"],
+                "float%": stats["dtype_pct"]["float"],
+                "date%": stats["dtype_pct"]["date"],
+            }
+        )
+    return rows
+
+
+def bench_table1_dataset_statistics(benchmark, table1_rows):
+    emit("table1_datasets", "Table I — dataset cardinalities", table1_rows)
+    # Timed kernel: sketching one benchmark corpus end to end.
+    dataset = DATASET_BUILDERS["Wiki Jaccard"](scale=0.2)
+    benchmark.pedantic(
+        lambda: sketch_cache(dataset.tables, SKETCH_CONFIG), rounds=3, iterations=1
+    )
+    assert len(table1_rows) == 10

@@ -1,0 +1,126 @@
+"""Table VIII + Fig. 4d — Eurostat subset search, plus the §IV-C3
+row/column shuffle-invariance probe.
+
+Systems: TaBERT-FT, TUTA-FT, SBERT, TabSketchFM (fine-tuned on CKAN Subset),
+TabSketchFM-SBERT. Expected shape: TabSketchFM best; SBERT behind; adding
+SBERT value embeddings *hurts slightly* for subsets; the fine-tuned dual
+encoders near the bottom. Invariance: TabSketchFM retrieves every
+row-shuffled variant (sketches are set-based); the order-sensitive SBERT
+table embedding misses some.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.common import emit, finetune_baseline, finetune_tabsketchfm
+from repro.baselines import SbertSearcher
+from repro.core.embed import TableEmbedder
+from repro.core.searcher import DualEncoderSearcher, TabSketchFMSearcher
+from repro.eval.experiments import sketch_cache
+from repro.lakebench import make_ckan_subset, make_eurostat_subset_search
+from repro.search.metrics import evaluate_search
+from repro.sketch import SketchConfig
+from repro.text.sbert import HashedSentenceEncoder
+
+SCALE = 0.5
+K = 10
+CURVE_KS = [1, 2, 5, 10, 12]
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    benchmark = make_eurostat_subset_search(scale=SCALE)
+    sketch_config = SketchConfig(num_perm=32, seed=1)
+    sketches = sketch_cache(benchmark.tables, sketch_config)
+
+    finetune_data = make_ckan_subset(scale=0.5)
+    _, finetuner, encoder, _ = finetune_tabsketchfm(finetune_data)
+    embedder = TableEmbedder(finetuner.model.trunk, encoder)
+    _, tabert_trainer = finetune_baseline("TaBERT", finetune_data, epochs=4)
+    _, tuta_trainer = finetune_baseline("TUTA", finetune_data, epochs=4)
+
+    tabsketch = TabSketchFMSearcher(embedder, benchmark.tables, sketches)
+    systems = [
+        DualEncoderSearcher(tabert_trainer, benchmark.tables, "TaBERT-FT"),
+        DualEncoderSearcher(tuta_trainer, benchmark.tables, "TUTA-FT",
+                            table_level=True),
+        SbertSearcher(benchmark.tables),
+        tabsketch,
+        TabSketchFMSearcher(
+            embedder, benchmark.tables, sketches,
+            sbert=HashedSentenceEncoder(dim=64),
+        ),
+    ]
+    rows, curves = [], {}
+    for system in systems:
+        result = evaluate_search(
+            system.name, benchmark, system.retrieve, k=K, curve_ks=CURVE_KS
+        )
+        rows.append(result.row())
+        curves[system.name] = {str(k): round(100 * v, 2) for k, v in result.f1_curve.items()}
+        print(f"  [table8] {result.row()}")
+
+    invariance = _shuffle_invariance(benchmark, tabsketch, embedder, sketches)
+    return benchmark, rows, curves, invariance
+
+
+def _shuffle_invariance(benchmark, tabsketch_searcher, embedder, sketches) -> dict:
+    """§IV-C3 probe: are the shuffled variants *retrieved* as neighbours?
+
+    The paper reports 3072/3072 row-shuffled variants returned in the
+    nearest-neighbour set by TabSketchFM (100%), 3059/3072 (99.5%) for
+    column shuffles, and only 91% row-shuffle retrieval for order-sensitive
+    SBERT table embeddings. We measure retrieval@11 (each query has exactly
+    11 relevant variants) plus the exact-embedding check that explains the
+    100%: sketches are set-based, so row order cannot change them.
+    """
+    sbert = SbertSearcher(benchmark.tables)
+    row_hits = col_hits = sbert_row_hits = exact_rows = total = 0
+    for query in benchmark.queries:
+        row_variant = f"{query.table}__shuffle_rows"
+        col_variant = f"{query.table}__shuffle_cols"
+        total += 1
+        retrieved = set(tabsketch_searcher.retrieve(query, 11))
+        row_hits += int(row_variant in retrieved)
+        col_hits += int(col_variant in retrieved)
+        sbert_retrieved = set(sbert.retrieve(query, 11))
+        sbert_row_hits += int(row_variant in sbert_retrieved)
+        # Mechanism behind the 100%: identical sketch embeddings.
+        base_vec = embedder.table_embedding(sketches[query.table])
+        row_vec = embedder.table_embedding(sketches[row_variant])
+        exact_rows += int(np.allclose(base_vec, row_vec, atol=1e-8))
+    return {
+        "tabsketchfm_row_retrieved_pct": round(100.0 * row_hits / total, 1),
+        "tabsketchfm_col_retrieved_pct": round(100.0 * col_hits / total, 1),
+        "sbert_row_retrieved_pct": round(100.0 * sbert_row_hits / total, 1),
+        "tabsketchfm_row_embedding_identical_pct": round(100.0 * exact_rows / total, 1),
+    }
+
+
+def bench_table8_eurostat_subset_search(benchmark, experiment):
+    bench_data, rows, curves, invariance = experiment
+    emit(
+        "table8_eurostat_subset",
+        "Table VIII — Eurostat subset search (mean F1 %, P@10, R@10) + Fig. 4d",
+        rows,
+        extra={"f1_curves_fig4d": curves, "shuffle_invariance": invariance},
+    )
+    print(f"  shuffle invariance probe (§IV-C3): {invariance}")
+    sbert = SbertSearcher(bench_data.tables)
+    query = bench_data.queries[0]
+    benchmark.pedantic(lambda: sbert.retrieve(query, K), rounds=3, iterations=1)
+
+    scores = {row["system"]: row["mean_f1"] for row in rows}
+    # TabSketchFM competitive with SBERT on subsets; dual encoders trail badly.
+    assert scores["TabSketchFM"] >= scores["SBERT"] - 10.0
+    assert scores["TabSketchFM"] > scores["TaBERT-FT"] + 10.0
+    assert scores["TabSketchFM"] > scores["TUTA-FT"] + 10.0
+    # Sketch embeddings are *exactly* row-order invariant (the mechanism
+    # behind the paper's 3072/3072), and retrieval reflects it.
+    assert invariance["tabsketchfm_row_embedding_identical_pct"] == 100.0
+    assert (
+        invariance["tabsketchfm_row_retrieved_pct"]
+        >= invariance["sbert_row_retrieved_pct"]
+    )

@@ -1,0 +1,52 @@
+"""Summarize results/*.json into markdown tables (EXPERIMENTS.md source).
+
+Run after `pytest benchmarks/ --benchmark-only`:
+
+    python scripts/summarize_results.py            # print everything
+    python scripts/summarize_results.py table5     # one experiment
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+RESULTS = Path(__file__).resolve().parent.parent / "results"
+
+
+def markdown_table(rows: list[dict]) -> str:
+    keys: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in keys:
+                keys.append(key)
+    lines = [
+        "| " + " | ".join(str(k) for k in keys) + " |",
+        "|" + "|".join("---" for _ in keys) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(row.get(k, "")) for k in keys) + " |")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    selector = sys.argv[1] if len(sys.argv) > 1 else ""
+    paths = sorted(RESULTS.glob("*.json"))
+    if not paths:
+        print(f"no results in {RESULTS}; run `pytest benchmarks/ --benchmark-only`")
+        return
+    for path in paths:
+        if selector and selector not in path.stem:
+            continue
+        payload = json.loads(path.read_text())
+        print(f"\n## {payload.get('title', path.stem)}\n")
+        print(markdown_table(payload.get("rows", [])))
+        for key, value in payload.items():
+            if key in ("experiment", "title", "rows"):
+                continue
+            print(f"\n**{key}**: `{json.dumps(value)}`")
+
+
+if __name__ == "__main__":
+    main()

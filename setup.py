@@ -1,0 +1,6 @@
+"""Legacy shim: offline environments without the `wheel` package cannot build
+PEP-660 editable wheels; `python setup.py develop` installs the same editable
+egg-link. Configuration lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

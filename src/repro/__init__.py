@@ -1,0 +1,42 @@
+"""repro — a from-scratch reproduction of TabSketchFM (ICDE 2025).
+
+TabSketchFM is a sketch-based tabular representation model for data
+discovery over data lakes: instead of linearizing cell values, it feeds
+MinHash sketches, numerical sketches and a table-level content snapshot into
+a BERT-style encoder, fine-tunes cross-encoders for union / join / subset
+identification, and uses the resulting embeddings for table search.
+
+Public API tour (see README.md for a quickstart):
+
+- ``repro.table`` — tables, type inference, CSV I/O, transforms;
+- ``repro.sketch`` — MinHash / numerical sketches / content snapshots / LSH;
+- ``repro.nn`` — the numpy autodiff + transformer substrate;
+- ``repro.text`` — WordPiece tokenizer and the frozen sentence encoder;
+- ``repro.core`` — the TabSketchFM model, pre-training, fine-tuning, search
+  embeddings;
+- ``repro.lakebench`` — synthetic LakeBench datasets and search benchmarks;
+- ``repro.baselines`` — every system the paper compares against;
+- ``repro.search`` — KNN index, the Fig. 6 ranking algorithm, IR metrics;
+- ``repro.eval`` — task metrics and experiment plumbing.
+"""
+
+from repro.core import (
+    InputEncoder,
+    TabSketchFM,
+    TabSketchFMConfig,
+)
+from repro.sketch import SketchConfig, sketch_table
+from repro.table import Table, read_csv
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "InputEncoder",
+    "TabSketchFM",
+    "TabSketchFMConfig",
+    "SketchConfig",
+    "sketch_table",
+    "Table",
+    "read_csv",
+    "__version__",
+]

@@ -1,0 +1,269 @@
+"""Dual-encoder pair models for the Table-II baselines (§IV-A1).
+
+"We adapted these models for Lakebench data discovery tasks by building a
+dual encoder architecture. Each encoder represents the pretrained model with
+shared parameters ... The embeddings from the last layer of the encoders were
+concatenated and passed through a two-layered MLP." For TAPAS and TABBIE "we
+froze their pretrained models while finetuning, but allowed the two layers
+above the model to learn the weights."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines.encoders import (
+    TextTableEncoder,
+    serialize_headers,
+    serialize_rows,
+    serialize_table_sequence,
+)
+from repro.core.finetune import TaskType
+from repro.eval.metrics import multilabel_weighted_f1, r2_score, weighted_f1
+from repro.nn.layers import Dropout, Linear, Module
+from repro.nn.losses import bce_with_logits_loss, cross_entropy_loss, mse_loss
+from repro.nn.optim import Adam, GradClipper
+from repro.nn.tensor import Tensor, concat, no_grad
+from repro.table.schema import Table
+from repro.text.tokenizer import WordPieceTokenizer
+from repro.utils.rng import spawn_rng
+
+
+@dataclass
+class BaselineSpec:
+    """What a baseline sees and whether its trunk learns."""
+
+    name: str
+    serializer: Callable[[Table], str]
+    frozen_trunk: bool = False
+    #: TABBIE-style row-wise encoding: embed each row separately, mean-pool.
+    per_row: bool = False
+    max_rows: int = 8
+
+
+BASELINE_FACTORIES: dict[str, BaselineSpec] = {
+    "Vanilla BERT": BaselineSpec("Vanilla BERT", serialize_headers),
+    "TaBERT": BaselineSpec("TaBERT", lambda t: serialize_rows(t, max_rows=8)),
+    "TUTA": BaselineSpec("TUTA", serialize_table_sequence),
+    "TAPAS": BaselineSpec(
+        "TAPAS",
+        lambda t: serialize_rows(t, max_rows=8, query_prefix="[empty question]"),
+        frozen_trunk=True,
+    ),
+    "TABBIE": BaselineSpec(
+        "TABBIE", lambda t: serialize_rows(t, max_rows=1),
+        frozen_trunk=True, per_row=True, max_rows=6,
+    ),
+}
+
+
+class DualEncoderModel(Module):
+    """Shared trunk over both tables + 2-layer MLP head on ``[e(A); e(B)]``."""
+
+    def __init__(self, trunk: TextTableEncoder, task: TaskType, num_outputs: int,
+                 frozen_trunk: bool = False, hidden: int = 64, seed: int = 0):
+        super().__init__()
+        self.trunk = trunk
+        self.task = task
+        self.num_outputs = num_outputs
+        self.frozen_trunk = frozen_trunk
+        rng = spawn_rng(seed, "dual-encoder-head")
+        self.head_in = Linear(2 * trunk.dim, hidden, rng=rng)
+        self.head_dropout = Dropout(0.1, rng=rng)
+        self.head_out = Linear(hidden, num_outputs, rng=rng)
+
+    def trainable_parameters(self):
+        if not self.frozen_trunk:
+            return self.parameters()
+        head_params = (
+            list(dict(self.head_in.named_parameters()).values())
+            + list(dict(self.head_out.named_parameters()).values())
+        )
+        return head_params
+
+    def embed(self, token_ids: np.ndarray, mask: np.ndarray) -> Tensor:
+        if self.frozen_trunk:
+            with no_grad():
+                frozen = self.trunk(token_ids, mask)
+            return frozen.detach()
+        return self.trunk(token_ids, mask)
+
+    def forward(self, ids_a, mask_a, ids_b, mask_b) -> Tensor:
+        emb = concat([self.embed(ids_a, mask_a), self.embed(ids_b, mask_b)], axis=-1)
+        return self.head_out(self.head_dropout(self.head_in(emb).relu()))
+
+    def loss(self, logits: Tensor, labels: np.ndarray) -> Tensor:
+        if self.task == TaskType.BINARY:
+            return cross_entropy_loss(logits, np.asarray(labels, dtype=np.int64))
+        if self.task == TaskType.REGRESSION:
+            return mse_loss(logits.reshape(-1), np.asarray(labels, dtype=np.float64))
+        return bce_with_logits_loss(logits, np.asarray(labels, dtype=np.float64))
+
+
+def make_baseline(
+    name: str, tokenizer: WordPieceTokenizer, task: TaskType, num_outputs: int,
+    dim: int = 48, seed: int = 0,
+) -> tuple[DualEncoderModel, BaselineSpec]:
+    """Instantiate one Table-II baseline by name."""
+    spec = BASELINE_FACTORIES[name]
+    trunk = TextTableEncoder(tokenizer, dim=dim, seed=seed)
+    model = DualEncoderModel(
+        trunk, task, num_outputs, frozen_trunk=spec.frozen_trunk, seed=seed
+    )
+    return model, spec
+
+
+@dataclass
+class DualEncoderHistory:
+    train_losses: list[float] = field(default_factory=list)
+    valid_losses: list[float] = field(default_factory=list)
+
+
+class DualEncoderTrainer:
+    """Fine-tunes a :class:`DualEncoderModel` on labelled table pairs."""
+
+    def __init__(self, model: DualEncoderModel, spec: BaselineSpec,
+                 epochs: int = 6, batch_size: int = 16, learning_rate: float = 1e-3,
+                 patience: int = 5, seed: int = 0):
+        self.model = model
+        self.spec = spec
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.patience = patience
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    def _serialize(self, table: Table) -> str:
+        if self.spec.per_row:
+            # TABBIE: embed rows independently; approximate by concatenating
+            # the first rows as separate sentences (mean pooling in the trunk
+            # then matches mean-of-row-embeddings up to length weighting).
+            rows = [" ".join(row) for row in table.rows(limit=self.spec.max_rows)]
+            return " | ".join([" ".join(table.header)] + rows)
+        return self.spec.serializer(table)
+
+    def encode_pairs(
+        self, pairs: list[tuple[Table, Table, object]]
+    ) -> list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, object]]:
+        out = []
+        for a, b, label in pairs:
+            ids_a, mask_a = self.model.trunk.encode_text(self._serialize(a))
+            ids_b, mask_b = self.model.trunk.encode_text(self._serialize(b))
+            out.append((ids_a, mask_a, ids_b, mask_b, label))
+        return out
+
+    def _labels_array(self, labels: list[object]) -> np.ndarray:
+        if self.model.task == TaskType.BINARY:
+            return np.asarray(labels, dtype=np.int64)
+        if self.model.task == TaskType.REGRESSION:
+            return np.asarray(labels, dtype=np.float64)
+        return np.stack([np.asarray(l, dtype=np.float64) for l in labels])
+
+    def _epoch(self, data, train: bool, optimizer, clipper, rng) -> float:
+        order = rng.permutation(len(data)) if train else np.arange(len(data))
+        total = count = 0
+        for start in range(0, len(data), self.batch_size):
+            chunk = [data[i] for i in order[start : start + self.batch_size]]
+            ids_a = np.stack([c[0] for c in chunk])
+            mask_a = np.stack([c[1] for c in chunk])
+            ids_b = np.stack([c[2] for c in chunk])
+            mask_b = np.stack([c[3] for c in chunk])
+            labels = self._labels_array([c[4] for c in chunk])
+            if train:
+                self.model.train()
+                optimizer.zero_grad()
+                loss = self.model.loss(
+                    self.model(ids_a, mask_a, ids_b, mask_b), labels
+                )
+                loss.backward()
+                clipper.clip()
+                optimizer.step()
+                value = loss.item()
+            else:
+                self.model.eval()
+                with no_grad():
+                    value = self.model.loss(
+                        self.model(ids_a, mask_a, ids_b, mask_b), labels
+                    ).item()
+            total += value * len(chunk)
+            count += len(chunk)
+        return total / max(1, count)
+
+    def train(self, train_pairs, valid_pairs=None) -> DualEncoderHistory:
+        data = self.encode_pairs(train_pairs)
+        valid = self.encode_pairs(valid_pairs) if valid_pairs else []
+        params = self.model.trainable_parameters()
+        optimizer = Adam(params, lr=self.learning_rate)
+        clipper = GradClipper(params)
+        rng = spawn_rng(self.seed, "dual-encoder-shuffle")
+        history = DualEncoderHistory()
+        best, since_best = float("inf"), 0
+        for _ in range(self.epochs):
+            train_loss = self._epoch(data, True, optimizer, clipper, rng)
+            valid_loss = self._epoch(valid, False, None, None, rng) if valid else train_loss
+            history.train_losses.append(train_loss)
+            history.valid_losses.append(valid_loss)
+            if valid_loss < best - 1e-6:
+                best, since_best = valid_loss, 0
+            else:
+                since_best += 1
+                if since_best >= self.patience:
+                    break
+        return history
+
+    # ------------------------------------------------------------------ #
+    def predict(self, pairs) -> np.ndarray:
+        data = self.encode_pairs(pairs)
+        outputs = []
+        self.model.eval()
+        with no_grad():
+            for start in range(0, len(data), self.batch_size):
+                chunk = data[start : start + self.batch_size]
+                logits = self.model(
+                    np.stack([c[0] for c in chunk]),
+                    np.stack([c[1] for c in chunk]),
+                    np.stack([c[2] for c in chunk]),
+                    np.stack([c[3] for c in chunk]),
+                ).numpy()
+                if self.model.task == TaskType.BINARY:
+                    outputs.append(np.argmax(logits, axis=-1))
+                elif self.model.task == TaskType.REGRESSION:
+                    outputs.append(logits.reshape(-1))
+                else:
+                    outputs.append(1.0 / (1.0 + np.exp(-logits)))
+        return np.concatenate(outputs) if outputs else np.zeros(0)
+
+    def evaluate(self, pairs) -> float:
+        """The paper's metric for the model's task family."""
+        predictions = self.predict(pairs)
+        labels = [label for _, _, label in pairs]
+        if self.model.task == TaskType.BINARY:
+            return weighted_f1(np.asarray(labels, dtype=np.int64), predictions)
+        if self.model.task == TaskType.REGRESSION:
+            return r2_score(np.asarray(labels, dtype=np.float64), predictions)
+        return multilabel_weighted_f1(
+            np.stack([np.asarray(l, dtype=np.float64) for l in labels]), predictions
+        )
+
+    # ------------------------------------------------------------------ #
+    def table_embedding(self, table: Table) -> np.ndarray:
+        """Frozen table embedding for search (TaBERT-FT / TUTA-FT roles)."""
+        ids, mask = self.model.trunk.encode_text(self._serialize(table))
+        self.model.eval()
+        with no_grad():
+            emb = self.model.trunk(ids[None, :], mask[None, :]).numpy()[0]
+        return emb.copy()
+
+    def column_embedding(self, table: Table, column_name: str) -> np.ndarray:
+        """Column embedding via a column-scoped serialization (TaBERT-FT)."""
+        from repro.baselines.encoders import serialize_column
+
+        ids, mask = self.model.trunk.encode_text(serialize_column(table, column_name))
+        self.model.eval()
+        with no_grad():
+            emb = self.model.trunk(ids[None, :], mask[None, :]).numpy()[0]
+        return emb.copy()

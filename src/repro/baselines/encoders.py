@@ -1,0 +1,112 @@
+"""Value-based table text encoders used by the Table-II baselines.
+
+Each baseline serializes a table to text differently (that is the essential
+difference between TaBERT / TAPAS / TUTA / TABBIE as deployed in §IV-A1) and
+runs a small transformer over the tokens, mean-pooling real-token states into
+a table embedding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Embedding, LayerNorm, Module
+from repro.nn.tensor import Tensor
+from repro.nn.transformer import TransformerEncoder, TransformerEncoderConfig
+from repro.table.schema import Table
+from repro.text.tokenizer import WordPieceTokenizer
+
+# --------------------------------------------------------------------- #
+# serializers
+# --------------------------------------------------------------------- #
+def serialize_headers(table: Table, max_tokens: int = 64) -> str:
+    """Vanilla BERT's view: headers only, as one sentence."""
+    return " ".join(table.header)
+
+
+def serialize_rows(table: Table, max_rows: int = 8, query_prefix: str = "") -> str:
+    """TaBERT/TAPAS-style linearization: header then row tuples.
+
+    ``query_prefix`` reproduces TAPAS's empty-question slot ("we sent an
+    empty string as a natural language query", §IV-A1).
+    """
+    parts: list[str] = []
+    if query_prefix:
+        parts.append(query_prefix)
+    parts.append(" ".join(table.header))
+    for row in table.rows(limit=max_rows):
+        parts.append(" ".join(row))
+    return " | ".join(parts)
+
+
+def serialize_table_sequence(table: Table, max_cells: int = 64) -> str:
+    """TUTA-style flattened table sequence: header:value cell pairs.
+
+    TUTA consumes a token sequence over the (tree-positioned) cells; the
+    reproduction keeps the first ``max_cells`` cells with their headers.
+    """
+    parts: list[str] = []
+    emitted = 0
+    for row in table.rows():
+        for header, cell in zip(table.header, row):
+            parts.append(f"{header} {cell}")
+            emitted += 1
+            if emitted >= max_cells:
+                return " ; ".join(parts)
+    return " ; ".join(parts)
+
+
+def serialize_column(table: Table, column_name: str, max_values: int = 30) -> str:
+    """One column as text (used for baseline column embeddings in search)."""
+    column = table.column(column_name)
+    return f"{column_name} " + " ".join(column.non_null_values()[:max_values])
+
+
+# --------------------------------------------------------------------- #
+# encoder
+# --------------------------------------------------------------------- #
+class TextTableEncoder(Module):
+    """Token embedding + tiny transformer + masked mean pooling."""
+
+    def __init__(self, tokenizer: WordPieceTokenizer, dim: int = 48,
+                 num_layers: int = 1, num_heads: int = 4, max_seq_len: int = 96,
+                 seed: int = 0):
+        super().__init__()
+        self.tokenizer = tokenizer
+        self.max_seq_len = max_seq_len
+        self.dim = dim
+        from repro.utils.rng import spawn_rng
+
+        rng = spawn_rng(seed, "text-table-encoder")
+        self.token_embedding = Embedding(len(tokenizer.vocabulary), dim, rng=rng)
+        self.position_embedding = Embedding(max_seq_len, dim, rng=rng)
+        self.input_norm = LayerNorm(dim)
+        self.encoder = TransformerEncoder(
+            TransformerEncoderConfig(
+                dim=dim, num_layers=num_layers, num_heads=num_heads,
+                ffn_dim=2 * dim, dropout=0.1, seed=seed,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    def encode_text(self, text: str) -> tuple[np.ndarray, np.ndarray]:
+        """Token ids and attention mask, padded to ``max_seq_len``."""
+        ids = self.tokenizer.encode(text)[: self.max_seq_len]
+        pad = self.tokenizer.vocabulary.pad_id
+        token_ids = np.full(self.max_seq_len, pad, dtype=np.int64)
+        token_ids[: len(ids)] = ids
+        mask = np.zeros(self.max_seq_len, dtype=np.float64)
+        mask[: max(1, len(ids))] = 1.0
+        return token_ids, mask
+
+    def forward(self, token_ids: np.ndarray, mask: np.ndarray) -> Tensor:
+        """Mean-pooled table embeddings ``(batch, dim)``."""
+        positions = np.broadcast_to(
+            np.arange(token_ids.shape[1]), token_ids.shape
+        )
+        embedded = self.token_embedding(token_ids) + self.position_embedding(positions)
+        hidden = self.encoder(self.input_norm(embedded), mask)
+        mask_t = Tensor(mask[:, :, None])
+        summed = (hidden * mask_t).sum(axis=1)
+        counts = Tensor(np.maximum(mask.sum(axis=1, keepdims=True), 1.0))
+        return summed / counts

@@ -1,0 +1,62 @@
+"""TabSketchFM core: the paper's primary contribution.
+
+- :mod:`repro.core.config` — model hyper-parameters and sketch-ablation flags.
+- :mod:`repro.core.inputs` — turns a :class:`~repro.sketch.TableSketch` (or a
+  pair, for cross-encoding) into the model's aligned input arrays: token ids,
+  within-column token positions, column positions, column types, segment ids,
+  per-position MinHash vectors and numerical-sketch vectors (Fig. 1).
+- :mod:`repro.core.model` — the encoder that sums the six embeddings of
+  §III-B and runs the BERT-style trunk; plus the MLM head.
+- :mod:`repro.core.pretrain` — whole-column masking, column-shuffle
+  augmentation and the MLM pre-training loop (§III-C, Figs. 2a/3).
+- :mod:`repro.core.finetune` — cross-encoders for binary / regression /
+  multi-label LakeBench tasks (§III-D, Fig. 2b).
+- :mod:`repro.core.embed` — table/column embedding extraction for search and
+  the normalized SBERT-concatenation of §IV-C (TabSketchFM-SBERT).
+- :mod:`repro.core.ablation` — the sketch subsets used in Tables III/IV.
+"""
+
+from repro.core.config import SketchSelection, TabSketchFMConfig
+from repro.core.inputs import EncodedTable, InputEncoder, PairEncoding
+from repro.core.model import TabSketchFM
+from repro.core.pretrain import (
+    MaskedExample,
+    PretrainConfig,
+    Pretrainer,
+    augment_tables,
+    make_masked_examples,
+)
+from repro.core.finetune import (
+    CrossEncoder,
+    FinetuneConfig,
+    Finetuner,
+    PairExample,
+    TaskType,
+)
+from repro.core.embed import TableEmbedder, concat_normalized
+from repro.core.searcher import DualEncoderSearcher, TabSketchFMSearcher
+from repro.core.ablation import ablation_selections
+
+__all__ = [
+    "SketchSelection",
+    "TabSketchFMConfig",
+    "EncodedTable",
+    "InputEncoder",
+    "PairEncoding",
+    "TabSketchFM",
+    "MaskedExample",
+    "PretrainConfig",
+    "Pretrainer",
+    "augment_tables",
+    "make_masked_examples",
+    "CrossEncoder",
+    "FinetuneConfig",
+    "Finetuner",
+    "PairExample",
+    "TaskType",
+    "TableEmbedder",
+    "concat_normalized",
+    "DualEncoderSearcher",
+    "TabSketchFMSearcher",
+    "ablation_selections",
+]

@@ -1,0 +1,34 @@
+"""Sketch-ablation configurations for Tables III and IV."""
+
+from __future__ import annotations
+
+from repro.core.config import SketchSelection
+
+#: "Using only" configurations (Table III).
+ONLY_SELECTIONS: dict[str, SketchSelection] = {
+    "only_minhash": SketchSelection(use_minhash=True, use_numeric=False, use_snapshot=False),
+    "only_numeric": SketchSelection(use_minhash=False, use_numeric=True, use_snapshot=False),
+    "only_snapshot": SketchSelection(use_minhash=False, use_numeric=False, use_snapshot=True),
+}
+
+#: "Removing only" configurations (Table IV).
+REMOVE_SELECTIONS: dict[str, SketchSelection] = {
+    "no_minhash": SketchSelection(use_minhash=False, use_numeric=True, use_snapshot=True),
+    "no_numeric": SketchSelection(use_minhash=True, use_numeric=False, use_snapshot=True),
+    "no_snapshot": SketchSelection(use_minhash=True, use_numeric=True, use_snapshot=False),
+}
+
+#: The full model (reference row of both tables).
+FULL_SELECTION = SketchSelection()
+
+
+def ablation_selections(mode: str) -> dict[str, SketchSelection]:
+    """Ablation suites: ``mode`` is ``"only"`` (Table III), ``"remove"``
+    (Table IV) or ``"all"``."""
+    if mode == "only":
+        return dict(ONLY_SELECTIONS)
+    if mode == "remove":
+        return dict(REMOVE_SELECTIONS)
+    if mode == "all":
+        return {**ONLY_SELECTIONS, **REMOVE_SELECTIONS, "full": FULL_SELECTION}
+    raise ValueError(f"unknown ablation mode: {mode!r}")

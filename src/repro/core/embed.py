@@ -1,0 +1,123 @@
+"""Embedding extraction for search (§III-E, §IV-C).
+
+"We extract the table embeddings from the finetuned TabSketchFM, and use that
+to create nearest neighbor indexes for search tasks." For union search the
+paper uses *column* embeddings instead (following Starmie) — the mean of each
+column's contextualized token states.
+
+Also implements the TabSketchFM-SBERT combination: "we concatenated the two
+embeddings after normalizing them so the means and variances of the two
+vectors were in the same scale."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.inputs import InputEncoder
+from repro.core.model import TabSketchFM
+from repro.nn.tensor import no_grad
+from repro.sketch.pipeline import TableSketch
+
+
+class TableEmbedder:
+    """Extracts table- and column-level embeddings from a (fine-tuned) trunk."""
+
+    def __init__(self, model: TabSketchFM, encoder: InputEncoder):
+        self.model = model
+        self.encoder = encoder
+
+    @property
+    def dim(self) -> int:
+        return self.model.config.dim
+
+    # ------------------------------------------------------------------ #
+    def table_embedding(self, sketch: TableSketch) -> np.ndarray:
+        """Pooler output for a single-table input, shape ``(dim,)``."""
+        encoding = self.encoder.encode_single(sketch)
+        from repro.core.inputs import batch_encodings
+
+        self.model.eval()
+        with no_grad():
+            hidden = self.model(batch_encodings([encoding]))
+            pooled = self.model.pool(hidden)
+        return pooled.numpy()[0].copy()
+
+    def column_embeddings(self, sketch: TableSketch) -> np.ndarray:
+        """Per-column embeddings: first+last-layer average over the column's
+        token span, shape ``(n_cols, dim)``.
+
+        Averaging the input-layer states with the final contextual states is
+        the standard "first-last-avg" recipe from the sentence-embedding
+        literature: the input layer carries the undiluted sketch geometry
+        (value overlap), the last layer carries table context. At full paper
+        scale the fine-tuned trunk preserves both in its last layer; our
+        laptop-scale trunk needs the explicit residual emphasis.
+
+        Columns beyond the encoder's sequence budget fall back to the table
+        embedding (rare at our scales; keeps output aligned with the sketch).
+        """
+        encoded = self.encoder.encode_table(sketch)
+        segments = np.zeros(encoded.length, dtype=np.int64)
+        encoding = self.encoder._finalize(
+            encoded.token_ids,
+            encoded.token_positions,
+            encoded.column_positions,
+            encoded.column_types,
+            segments,
+            encoded.minhash,
+            encoded.numeric,
+        )
+        from repro.core.inputs import batch_encodings
+
+        self.model.eval()
+        with no_grad():
+            batch = batch_encodings([encoding])
+            embedded = self.model.embed_inputs(batch)
+            contextual = self.model.encoder(embedded, batch["attention_mask"])
+            hidden = ((embedded + contextual) * 0.5).numpy()[0]
+        max_len = self.encoder.config.max_seq_len
+        fallback = None
+        out = np.zeros((sketch.n_cols, self.dim))
+        for i, span in enumerate(encoded.spans):
+            stop = min(span.stop, max_len)
+            if span.start < max_len and stop > span.start:
+                out[i] = hidden[span.start : stop].mean(axis=0)
+            else:
+                if fallback is None:
+                    fallback = self.table_embedding(sketch)
+                out[i] = fallback
+        for i in range(len(encoded.spans), sketch.n_cols):
+            if fallback is None:
+                fallback = self.table_embedding(sketch)
+            out[i] = fallback
+        return out
+
+    # ------------------------------------------------------------------ #
+    def table_embeddings(self, sketches: list[TableSketch]) -> np.ndarray:
+        """Stacked table embeddings, shape ``(n_tables, dim)``."""
+        if not sketches:
+            return np.zeros((0, self.dim))
+        return np.stack([self.table_embedding(s) for s in sketches])
+
+
+def standardize(vector: np.ndarray) -> np.ndarray:
+    """Zero-mean, unit-variance rescaling of one vector (degenerate-safe)."""
+    std = float(np.std(vector))
+    if std == 0.0:
+        return vector - float(np.mean(vector))
+    return (vector - float(np.mean(vector))) / std
+
+
+def concat_normalized(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """TabSketchFM-SBERT combination: standardize each part, then concat.
+
+    Standardizing puts "the means and variances of the two vectors ... in the
+    same scale" so that neither embedding dominates nearest-neighbour
+    distances (§IV-C1). Each half is additionally scaled by 1/sqrt(width):
+    with per-dim unit variance, a wider half would otherwise contribute more
+    to distances purely by having more dimensions.
+    """
+    left = standardize(first) / np.sqrt(max(1, first.size))
+    right = standardize(second) / np.sqrt(max(1, second.size))
+    return np.concatenate([left, right])

@@ -1,0 +1,205 @@
+"""Cross-encoder fine-tuning for LakeBench tasks (§III-D, Fig. 2b).
+
+"Two input tables are concatenated and passed through the pretrained
+TabSketchFM. The BERT pooler output ... is passed through a dropout and a
+linear layer to generate output of size N":
+
+- binary classification → N = 2, cross-entropy loss;
+- regression → N = 1, mean-squared-error loss;
+- multi-label classification → N = #classes, BCE-with-logits loss.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.inputs import InputEncoder, PairEncoding, batch_encodings
+from repro.core.model import TabSketchFM
+from repro.nn.layers import Dropout, Linear, Module
+from repro.nn.losses import bce_with_logits_loss, cross_entropy_loss, mse_loss
+from repro.nn.optim import Adam, GradClipper
+from repro.nn.tensor import Tensor, no_grad
+from repro.sketch.pipeline import TableSketch
+from repro.utils.rng import spawn_rng
+
+
+class TaskType(enum.Enum):
+    """LakeBench task families (Table I)."""
+
+    BINARY = "binary"
+    REGRESSION = "regression"
+    MULTILABEL = "multilabel"
+
+
+@dataclass
+class FinetuneConfig:
+    """Fine-tuning loop hyper-parameters (scaled-down from the paper)."""
+
+    epochs: int = 8
+    batch_size: int = 16
+    learning_rate: float = 3e-4
+    patience: int = 5
+    dropout: float = 0.1
+    grad_clip: float = 1.0
+    #: Keep the best-validation-loss weights (standard early stopping).
+    restore_best: bool = True
+    seed: int = 0
+
+
+class CrossEncoder(Module):
+    """TabSketchFM trunk + dropout + task head over the pooler output."""
+
+    def __init__(self, trunk: TabSketchFM, task: TaskType, num_outputs: int,
+                 dropout: float = 0.1, seed: int = 0):
+        super().__init__()
+        expected = {TaskType.BINARY: 2, TaskType.REGRESSION: 1}
+        if task in expected and num_outputs != expected[task]:
+            raise ValueError(
+                f"{task.value} head requires {expected[task]} outputs, got {num_outputs}"
+            )
+        self.trunk = trunk
+        self.task = task
+        self.num_outputs = num_outputs
+        rng = spawn_rng(seed, "cross-encoder-head")
+        self.head_dropout = Dropout(dropout, rng=rng)
+        self.head = Linear(trunk.config.dim, num_outputs, rng=rng)
+
+    def forward(self, batch: dict[str, np.ndarray]) -> Tensor:
+        hidden = self.trunk(batch)
+        pooled = self.trunk.pool(hidden)
+        return self.head(self.head_dropout(pooled))
+
+    def loss(self, logits: Tensor, labels: np.ndarray) -> Tensor:
+        if self.task == TaskType.BINARY:
+            return cross_entropy_loss(logits, np.asarray(labels, dtype=np.int64))
+        if self.task == TaskType.REGRESSION:
+            return mse_loss(logits.reshape(-1), np.asarray(labels, dtype=np.float64))
+        return bce_with_logits_loss(logits, np.asarray(labels, dtype=np.float64))
+
+
+@dataclass
+class PairExample:
+    """A labelled table pair. ``label`` is an int (binary), float
+    (regression) or a multi-hot float vector (multi-label)."""
+
+    first: TableSketch
+    second: TableSketch
+    label: object
+
+
+@dataclass
+class FinetuneHistory:
+    train_losses: list[float] = field(default_factory=list)
+    valid_losses: list[float] = field(default_factory=list)
+    stopped_early: bool = False
+
+
+class Finetuner:
+    """Fine-tunes a :class:`CrossEncoder` on labelled table pairs."""
+
+    def __init__(self, model: CrossEncoder, encoder: InputEncoder,
+                 config: FinetuneConfig | None = None):
+        self.model = model
+        self.encoder = encoder
+        self.config = config or FinetuneConfig()
+
+    # ------------------------------------------------------------------ #
+    def encode_pairs(self, pairs: list[PairExample]) -> list[tuple[PairEncoding, object]]:
+        return [
+            (self.encoder.encode_pair(p.first, p.second), p.label) for p in pairs
+        ]
+
+    def _labels_array(self, labels: list[object]) -> np.ndarray:
+        if self.model.task == TaskType.BINARY:
+            return np.asarray(labels, dtype=np.int64)
+        if self.model.task == TaskType.REGRESSION:
+            return np.asarray(labels, dtype=np.float64)
+        return np.stack([np.asarray(l, dtype=np.float64) for l in labels])
+
+    def _epoch(self, data: list[tuple[PairEncoding, object]], train: bool,
+               optimizer: Adam | None, clipper: GradClipper | None,
+               rng: np.random.Generator) -> float:
+        batch_size = self.config.batch_size
+        order = rng.permutation(len(data)) if train else np.arange(len(data))
+        total, count = 0.0, 0
+        for start in range(0, len(data), batch_size):
+            chunk = [data[i] for i in order[start : start + batch_size]]
+            batch = batch_encodings([enc for enc, _ in chunk])
+            labels = self._labels_array([label for _, label in chunk])
+            if train:
+                self.model.train()
+                optimizer.zero_grad()
+                loss = self.model.loss(self.model(batch), labels)
+                loss.backward()
+                clipper.clip()
+                optimizer.step()
+                value = loss.item()
+            else:
+                self.model.eval()
+                with no_grad():
+                    value = self.model.loss(self.model(batch), labels).item()
+            total += value * len(chunk)
+            count += len(chunk)
+        return total / max(1, count)
+
+    def train(self, train_pairs: list[PairExample],
+              valid_pairs: list[PairExample] | None = None) -> FinetuneHistory:
+        """Run the fine-tuning loop with early stopping on validation loss."""
+        config = self.config
+        train_data = self.encode_pairs(train_pairs)
+        valid_data = self.encode_pairs(valid_pairs) if valid_pairs else []
+        optimizer = Adam(self.model.parameters(), lr=config.learning_rate)
+        clipper = GradClipper(self.model.parameters(), max_norm=config.grad_clip)
+        rng = spawn_rng(config.seed, "finetune-shuffle")
+        history = FinetuneHistory()
+        best = float("inf")
+        best_state = None
+        since_best = 0
+        for _ in range(config.epochs):
+            train_loss = self._epoch(train_data, True, optimizer, clipper, rng)
+            valid_loss = (
+                self._epoch(valid_data, False, None, None, rng)
+                if valid_data
+                else train_loss
+            )
+            history.train_losses.append(train_loss)
+            history.valid_losses.append(valid_loss)
+            if valid_loss < best - 1e-6:
+                best = valid_loss
+                since_best = 0
+                if config.restore_best:
+                    best_state = self.model.state_dict()
+            else:
+                since_best += 1
+                if since_best >= config.patience:
+                    history.stopped_early = True
+                    break
+        if config.restore_best and best_state is not None:
+            self.model.load_state_dict(best_state)
+        return history
+
+    # ------------------------------------------------------------------ #
+    def predict(self, pairs: list[PairExample], batch_size: int | None = None) -> np.ndarray:
+        """Task-appropriate predictions.
+
+        binary → predicted class ids; regression → predicted values;
+        multi-label → per-class probabilities (sigmoid of logits).
+        """
+        batch_size = batch_size or self.config.batch_size
+        data = self.encode_pairs(pairs)
+        outputs: list[np.ndarray] = []
+        self.model.eval()
+        with no_grad():
+            for start in range(0, len(data), batch_size):
+                chunk = [enc for enc, _ in data[start : start + batch_size]]
+                logits = self.model(batch_encodings(chunk)).numpy()
+                if self.model.task == TaskType.BINARY:
+                    outputs.append(np.argmax(logits, axis=-1))
+                elif self.model.task == TaskType.REGRESSION:
+                    outputs.append(logits.reshape(-1))
+                else:
+                    outputs.append(1.0 / (1.0 + np.exp(-logits)))
+        return np.concatenate(outputs) if outputs else np.zeros(0)

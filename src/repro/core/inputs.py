@@ -1,0 +1,271 @@
+"""Input encoding: from sketches to aligned model-input arrays (Fig. 1).
+
+The paper builds one "input string" per table::
+
+    [CLS] <table description> [SEP] <col 1 name> [SEP] <col 2 name> [SEP] ...
+
+and aligns six parallel signals with its tokens:
+
+1. token ids (WordPiece);
+2. *within-column* token positions (re-purposed positional embedding);
+3. column positions (0 = description, then 1..C);
+4. column types (string/int/float/date as 1..4; 0 elsewhere);
+5. per-position MinHash vectors — the content snapshot for description
+   positions, E_C or E_{C||W} for column-name positions;
+6. per-position numerical-sketch vectors (zero for description positions).
+
+A :class:`PairEncoding` concatenates two encoded tables for the cross-encoder
+(Fig. 2b) with BERT-style segment ids 0/1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import TabSketchFMConfig
+from repro.sketch.numeric import NUMERICAL_SKETCH_DIM
+from repro.sketch.pipeline import TableSketch
+from repro.text.tokenizer import WordPieceTokenizer
+
+
+@dataclass
+class ColumnSpan:
+    """Token index range [start, stop) of one column's name tokens."""
+
+    column_index: int
+    start: int
+    stop: int
+
+
+@dataclass
+class EncodedTable:
+    """All aligned input arrays for a single table (unpadded)."""
+
+    token_ids: np.ndarray       # int64[S]
+    token_positions: np.ndarray  # int64[S] — position *within* the column name
+    column_positions: np.ndarray  # int64[S] — 0 for description, 1..C
+    column_types: np.ndarray    # int64[S] — ColumnType value or 0
+    minhash: np.ndarray         # float64[S, 2*num_perm]
+    numeric: np.ndarray         # float64[S, NUMERICAL_SKETCH_DIM]
+    spans: list[ColumnSpan]     # column-name token spans (for masking/pooling)
+    description_span: tuple[int, int]  # [start, stop) of description tokens
+
+    @property
+    def length(self) -> int:
+        return int(self.token_ids.shape[0])
+
+
+@dataclass
+class PairEncoding:
+    """A cross-encoder input: two tables concatenated with segment ids.
+
+    ``interaction`` holds the cross-table sketch agreement features injected
+    at the [CLS] position (zeros for single-table encodings); see
+    :mod:`repro.sketch.interactions` for the scale-down rationale.
+    """
+
+    token_ids: np.ndarray
+    token_positions: np.ndarray
+    column_positions: np.ndarray
+    column_types: np.ndarray
+    segment_ids: np.ndarray
+    minhash: np.ndarray
+    numeric: np.ndarray
+    attention_mask: np.ndarray
+    interaction: np.ndarray
+
+    @property
+    def length(self) -> int:
+        return int(self.token_ids.shape[0])
+
+
+class InputEncoder:
+    """Encodes :class:`TableSketch` objects for a fixed tokenizer/config."""
+
+    def __init__(self, config: TabSketchFMConfig, tokenizer: WordPieceTokenizer):
+        self.config = config
+        self.tokenizer = tokenizer
+        if len(tokenizer.vocabulary) > config.vocab_size:
+            raise ValueError(
+                f"tokenizer vocab {len(tokenizer.vocabulary)} exceeds "
+                f"config.vocab_size {config.vocab_size}"
+            )
+
+    # ------------------------------------------------------------------ #
+    def encode_table(self, sketch: TableSketch) -> EncodedTable:
+        """Build the unpadded aligned arrays for one table."""
+        config = self.config
+        vocab = self.tokenizer.vocabulary
+        mh_dim = config.minhash_input_dim
+
+        token_ids: list[int] = [vocab.cls_id]
+        token_positions: list[int] = [0]
+        column_positions: list[int] = [0]
+        column_types: list[int] = [0]
+        minhash_rows: list[np.ndarray] = []
+        numeric_rows: list[np.ndarray] = []
+
+        snapshot_vec = (
+            sketch.snapshot_vector()
+            if config.selection.use_snapshot
+            else np.zeros(mh_dim)
+        )
+        zero_numeric = np.zeros(NUMERICAL_SKETCH_DIM)
+        minhash_rows.append(snapshot_vec)
+        numeric_rows.append(zero_numeric)
+
+        desc_start = len(token_ids)
+        for piece_id in self.tokenizer.encode(sketch.description):
+            token_ids.append(piece_id)
+            token_positions.append(
+                min(len(token_ids) - 1 - desc_start, config.max_token_positions - 1)
+            )
+            column_positions.append(0)
+            column_types.append(0)
+            minhash_rows.append(snapshot_vec)
+            numeric_rows.append(zero_numeric)
+        desc_stop = len(token_ids)
+
+        def add_separator() -> None:
+            token_ids.append(vocab.sep_id)
+            token_positions.append(0)
+            column_positions.append(0)
+            column_types.append(0)
+            minhash_rows.append(snapshot_vec)
+            numeric_rows.append(zero_numeric)
+
+        add_separator()
+
+        spans: list[ColumnSpan] = []
+        max_cols = config.max_columns
+        for col_index, col in enumerate(sketch.column_sketches[: max_cols - 1]):
+            col_position = col_index + 1
+            col_minhash = (
+                col.minhash_vector(config.sketch.num_perm)
+                if config.selection.use_minhash
+                else np.zeros(mh_dim)
+            )
+            col_numeric = (
+                col.numeric.to_vector()
+                if config.selection.use_numeric
+                else zero_numeric
+            )
+            pieces = self.tokenizer.encode(col.name) or [vocab.unk_id]
+            start = len(token_ids)
+            for within, piece_id in enumerate(pieces):
+                token_ids.append(piece_id)
+                token_positions.append(min(within, config.max_token_positions - 1))
+                column_positions.append(col_position)
+                column_types.append(int(col.ctype))
+                minhash_rows.append(col_minhash)
+                numeric_rows.append(col_numeric)
+            spans.append(ColumnSpan(col_index, start, len(token_ids)))
+            # Separator carries the column's sketches so attention can use
+            # them even for single-token names; position resets afterwards.
+            token_ids.append(vocab.sep_id)
+            token_positions.append(0)
+            column_positions.append(col_position)
+            column_types.append(int(col.ctype))
+            minhash_rows.append(col_minhash)
+            numeric_rows.append(col_numeric)
+
+        return EncodedTable(
+            token_ids=np.asarray(token_ids, dtype=np.int64),
+            token_positions=np.asarray(token_positions, dtype=np.int64),
+            column_positions=np.asarray(column_positions, dtype=np.int64),
+            column_types=np.asarray(column_types, dtype=np.int64),
+            minhash=np.asarray(minhash_rows, dtype=np.float64),
+            numeric=np.asarray(numeric_rows, dtype=np.float64),
+            spans=spans,
+            description_span=(desc_start, desc_stop),
+        )
+
+    # ------------------------------------------------------------------ #
+    def encode_single(self, sketch: TableSketch) -> PairEncoding:
+        """A single-table input padded/truncated to ``max_seq_len``."""
+        encoded = self.encode_table(sketch)
+        segments = np.zeros(encoded.length, dtype=np.int64)
+        return self._finalize(
+            encoded.token_ids,
+            encoded.token_positions,
+            encoded.column_positions,
+            encoded.column_types,
+            segments,
+            encoded.minhash,
+            encoded.numeric,
+        )
+
+    def encode_pair(self, first: TableSketch, second: TableSketch) -> PairEncoding:
+        """A cross-encoder pair input: ``[CLS] A ... [SEP] B ...`` (Fig. 2b)."""
+        from repro.sketch.interactions import interaction_features
+
+        a = self.encode_table(first)
+        b = self.encode_table(second)
+        interaction = interaction_features(first, second, self.config.selection)
+        # Drop B's leading [CLS]; keep a single CLS at position 0.
+        token_ids = np.concatenate([a.token_ids, b.token_ids[1:]])
+        token_positions = np.concatenate([a.token_positions, b.token_positions[1:]])
+        column_positions = np.concatenate([a.column_positions, b.column_positions[1:]])
+        column_types = np.concatenate([a.column_types, b.column_types[1:]])
+        segments = np.concatenate(
+            [np.zeros(a.length, dtype=np.int64), np.ones(b.length - 1, dtype=np.int64)]
+        )
+        minhash = np.concatenate([a.minhash, b.minhash[1:]])
+        numeric = np.concatenate([a.numeric, b.numeric[1:]])
+        return self._finalize(
+            token_ids, token_positions, column_positions, column_types,
+            segments, minhash, numeric, interaction=interaction,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _finalize(self, token_ids, token_positions, column_positions,
+                  column_types, segments, minhash, numeric,
+                  interaction: np.ndarray | None = None) -> PairEncoding:
+        from repro.sketch.interactions import INTERACTION_DIM
+        config = self.config
+        pad_id = self.tokenizer.vocabulary.pad_id
+        seq = config.max_seq_len
+        length = min(len(token_ids), seq)
+
+        def pad_ints(arr: np.ndarray, fill: int = 0) -> np.ndarray:
+            out = np.full(seq, fill, dtype=np.int64)
+            out[:length] = arr[:length]
+            return out
+
+        def pad_floats(arr: np.ndarray) -> np.ndarray:
+            out = np.zeros((seq, arr.shape[1]), dtype=np.float64)
+            out[:length] = arr[:length]
+            return out
+
+        mask = np.zeros(seq, dtype=np.float64)
+        mask[:length] = 1.0
+        if interaction is None:
+            interaction = np.zeros(INTERACTION_DIM, dtype=np.float64)
+        return PairEncoding(
+            token_ids=pad_ints(token_ids, pad_id),
+            token_positions=pad_ints(token_positions),
+            column_positions=pad_ints(column_positions),
+            column_types=pad_ints(column_types),
+            segment_ids=pad_ints(segments),
+            minhash=pad_floats(minhash),
+            numeric=pad_floats(numeric),
+            attention_mask=mask,
+            interaction=np.asarray(interaction, dtype=np.float64),
+        )
+
+
+def batch_encodings(encodings: list[PairEncoding]) -> dict[str, np.ndarray]:
+    """Stack a list of equal-length encodings into batched arrays."""
+    return {
+        "token_ids": np.stack([e.token_ids for e in encodings]),
+        "token_positions": np.stack([e.token_positions for e in encodings]),
+        "column_positions": np.stack([e.column_positions for e in encodings]),
+        "column_types": np.stack([e.column_types for e in encodings]),
+        "segment_ids": np.stack([e.segment_ids for e in encodings]),
+        "minhash": np.stack([e.minhash for e in encodings]),
+        "numeric": np.stack([e.numeric for e in encodings]),
+        "attention_mask": np.stack([e.attention_mask for e in encodings]),
+        "interaction": np.stack([e.interaction for e in encodings]),
+    }

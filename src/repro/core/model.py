@@ -1,0 +1,97 @@
+"""The TabSketchFM encoder (§III-B, Fig. 1 right panel).
+
+The input embedding is the *sum* of:
+
+1. token embeddings,
+2. within-column token-position embeddings,
+3. column-position embeddings,
+4. column-type embeddings,
+5. MinHash sketch embeddings (linear projection of the [values ‖ words]
+   signature vector; the content snapshot for description positions),
+6. numerical sketch embeddings (linear projection of the statistics vector),
+
+plus a BERT-style segment embedding for cross-encoder pairs, followed by
+LayerNorm + dropout and the transformer trunk. The MLM head mirrors BERT's:
+dense → GELU → LayerNorm → vocabulary projection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import TabSketchFMConfig
+from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear, Module
+from repro.nn.tensor import Tensor, concat
+from repro.nn.transformer import TransformerEncoder
+from repro.sketch.interactions import INTERACTION_DIM
+from repro.sketch.numeric import NUMERICAL_SKETCH_DIM
+from repro.utils.rng import spawn_rng
+
+
+class TabSketchFM(Module):
+    """Sketch-based tabular encoder."""
+
+    def __init__(self, config: TabSketchFMConfig):
+        super().__init__()
+        self.config = config
+        rng = spawn_rng(config.seed, "tabsketchfm-init")
+        dim = config.dim
+
+        self.token_embedding = Embedding(config.vocab_size, dim, rng=rng)
+        self.token_position_embedding = Embedding(config.max_token_positions, dim, rng=rng)
+        self.column_position_embedding = Embedding(config.max_columns, dim, rng=rng)
+        self.column_type_embedding = Embedding(config.num_column_types, dim, rng=rng)
+        self.segment_embedding = Embedding(config.num_segments, dim, rng=rng)
+        self.minhash_projection = Linear(config.minhash_input_dim, dim, rng=rng)
+        self.numeric_projection = Linear(NUMERICAL_SKETCH_DIM, dim, rng=rng)
+        # Cross-table agreement features at [CLS] for pair encodings; see
+        # repro.sketch.interactions for the scale-down rationale.
+        self.interaction_projection = Linear(INTERACTION_DIM, dim, rng=rng)
+        self.input_norm = LayerNorm(dim)
+        self.input_dropout = Dropout(config.dropout, rng=rng)
+
+        self.encoder = TransformerEncoder(config.encoder_config())
+
+        # MLM head (BERT's transform + decoder).
+        self.mlm_transform = Linear(dim, dim, rng=rng)
+        self.mlm_norm = LayerNorm(dim)
+        self.mlm_decoder = Linear(dim, config.vocab_size, rng=rng)
+
+    # ------------------------------------------------------------------ #
+    def embed_inputs(self, batch: dict[str, np.ndarray]) -> Tensor:
+        """Sum the six embeddings (plus segments) into ``(B, S, D)``."""
+        total = self.token_embedding(batch["token_ids"])
+        total = total + self.token_position_embedding(batch["token_positions"])
+        total = total + self.column_position_embedding(batch["column_positions"])
+        total = total + self.column_type_embedding(batch["column_types"])
+        total = total + self.segment_embedding(batch["segment_ids"])
+        total = total + self.minhash_projection(Tensor(batch["minhash"]))
+        total = total + self.numeric_projection(Tensor(batch["numeric"]))
+        interaction = batch.get("interaction")
+        if interaction is not None and np.any(interaction):
+            projected = self.interaction_projection(Tensor(interaction))
+            batch_size, seq_len, dim = total.shape
+            rest = Tensor(np.zeros((batch_size, seq_len - 1, dim)))
+            cls_only = concat(
+                [projected.reshape(batch_size, 1, dim), rest], axis=1
+            )
+            total = total + cls_only
+        return self.input_dropout(self.input_norm(total))
+
+    def forward(self, batch: dict[str, np.ndarray]) -> Tensor:
+        """Hidden states ``(B, S, D)`` for a batched encoding."""
+        embedded = self.embed_inputs(batch)
+        return self.encoder(embedded, batch["attention_mask"])
+
+    def pool(self, hidden: Tensor) -> Tensor:
+        """BERT pooler output of the first token, ``(B, D)``."""
+        return self.encoder.pool(hidden)
+
+    def mlm_logits(self, hidden: Tensor) -> Tensor:
+        """Vocabulary logits ``(B, S, V)`` for the MLM objective."""
+        transformed = self.mlm_norm(self.mlm_transform(hidden).gelu())
+        return self.mlm_decoder(transformed)
+
+    # ------------------------------------------------------------------ #
+    def num_parameters(self) -> int:
+        return int(sum(p.data.size for p in self.parameters()))

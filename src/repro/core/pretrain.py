@@ -1,0 +1,235 @@
+"""MLM pre-training (§III-C, Figs. 2a and 3).
+
+Masking protocol, following the paper exactly:
+
+- **Whole-column masking**: for each example one column is chosen and *all*
+  tokens of its name are replaced by ``[MASK]`` (the tabular analogue of
+  whole-word masking).
+- Small tables (≤ 5 columns) yield one example per column; larger tables
+  yield 5 examples with randomly chosen columns, to avoid over-representing
+  wide tables.
+- Description tokens are additionally masked i.i.d. with the MLM
+  probability (default 0.15).
+- **Augmentation**: extra copies of each table with shuffled column order
+  (the content snapshot stays identical because rows don't change, but
+  column positions — and therefore the learning signal — do).
+
+Loss: cross-entropy over masked positions only (Eq. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.inputs import EncodedTable, InputEncoder, PairEncoding, batch_encodings
+from repro.core.model import TabSketchFM
+from repro.nn.losses import cross_entropy_loss
+from repro.nn.optim import Adam, GradClipper
+from repro.nn.tensor import no_grad
+from repro.table.schema import Table
+from repro.table.transform import shuffle_columns
+from repro.utils.rng import spawn_rng
+
+IGNORE_INDEX = -100
+
+
+@dataclass
+class MaskedExample:
+    """One MLM training example: inputs plus per-position labels."""
+
+    encoding: PairEncoding
+    labels: np.ndarray  # int64[S]; IGNORE_INDEX on unmasked positions
+
+
+@dataclass
+class PretrainConfig:
+    """Pre-training loop hyper-parameters (scaled-down from the paper)."""
+
+    epochs: int = 10
+    batch_size: int = 16
+    learning_rate: float = 3e-4
+    #: Early-stopping patience in epochs, as in the paper ("patience of 5").
+    patience: int = 5
+    mlm_probability: float = 0.15
+    max_masked_columns: int = 5
+    #: Extra column-shuffled copies per table (§III-C data augmentation).
+    augmentation_copies: int = 1
+    grad_clip: float = 1.0
+    #: Keep the best-validation-loss weights (standard early stopping).
+    restore_best: bool = True
+    seed: int = 0
+
+
+def augment_tables(
+    tables: list[Table], copies: int, seed: int = 0
+) -> list[Table]:
+    """Original tables plus ``copies`` column-shuffled variants of each."""
+    rng = spawn_rng(seed, "pretrain-augment")
+    out = list(tables)
+    for table in tables:
+        for copy_index in range(copies):
+            out.append(
+                shuffle_columns(table, rng, name=f"{table.name}__shuf{copy_index}")
+            )
+    return out
+
+
+def make_masked_examples(
+    encoded: EncodedTable,
+    encoder: InputEncoder,
+    rng: np.random.Generator,
+    mlm_probability: float = 0.15,
+    max_masked_columns: int = 5,
+) -> list[MaskedExample]:
+    """Whole-column masked examples for one encoded table (Fig. 3)."""
+    vocab = encoder.tokenizer.vocabulary
+    spans = encoded.spans
+    if not spans:
+        return []
+    if len(spans) <= max_masked_columns:
+        chosen = list(range(len(spans)))
+    else:
+        chosen = sorted(
+            rng.choice(len(spans), size=max_masked_columns, replace=False).tolist()
+        )
+
+    desc_start, desc_stop = encoded.description_span
+    examples: list[MaskedExample] = []
+    for span_index in chosen:
+        span = spans[span_index]
+        token_ids = encoded.token_ids.copy()
+        labels = np.full(encoded.length, IGNORE_INDEX, dtype=np.int64)
+        labels[span.start : span.stop] = token_ids[span.start : span.stop]
+        token_ids[span.start : span.stop] = vocab.mask_id
+        # i.i.d. masking of description tokens (MLM probability).
+        for position in range(desc_start, desc_stop):
+            if rng.random() < mlm_probability:
+                labels[position] = token_ids[position]
+                token_ids[position] = vocab.mask_id
+
+        segments = np.zeros(encoded.length, dtype=np.int64)
+        encoding = encoder._finalize(
+            token_ids,
+            encoded.token_positions,
+            encoded.column_positions,
+            encoded.column_types,
+            segments,
+            encoded.minhash,
+            encoded.numeric,
+        )
+        padded_labels = np.full(encoder.config.max_seq_len, IGNORE_INDEX, dtype=np.int64)
+        usable = min(encoded.length, encoder.config.max_seq_len)
+        padded_labels[:usable] = labels[:usable]
+        examples.append(MaskedExample(encoding=encoding, labels=padded_labels))
+    return examples
+
+
+@dataclass
+class PretrainHistory:
+    """Loss trajectory of a pre-training run."""
+
+    train_losses: list[float] = field(default_factory=list)
+    valid_losses: list[float] = field(default_factory=list)
+    stopped_early: bool = False
+
+    @property
+    def best_valid(self) -> float:
+        return min(self.valid_losses) if self.valid_losses else float("inf")
+
+
+class Pretrainer:
+    """Runs the MLM pre-training loop with early stopping."""
+
+    def __init__(self, model: TabSketchFM, encoder: InputEncoder,
+                 config: PretrainConfig | None = None):
+        self.model = model
+        self.encoder = encoder
+        self.config = config or PretrainConfig()
+
+    # ------------------------------------------------------------------ #
+    def build_examples(self, encoded_tables: list[EncodedTable]) -> list[MaskedExample]:
+        rng = spawn_rng(self.config.seed, "pretrain-masking")
+        examples: list[MaskedExample] = []
+        for encoded in encoded_tables:
+            examples.extend(
+                make_masked_examples(
+                    encoded,
+                    self.encoder,
+                    rng,
+                    mlm_probability=self.config.mlm_probability,
+                    max_masked_columns=self.config.max_masked_columns,
+                )
+            )
+        return examples
+
+    def _epoch_loss(self, examples: list[MaskedExample], train: bool,
+                    optimizer: Adam | None, clipper: GradClipper | None,
+                    rng: np.random.Generator) -> float:
+        batch_size = self.config.batch_size
+        order = rng.permutation(len(examples)) if train else np.arange(len(examples))
+        total, count = 0.0, 0
+        for start in range(0, len(examples), batch_size):
+            chunk = [examples[i] for i in order[start : start + batch_size]]
+            batch = batch_encodings([ex.encoding for ex in chunk])
+            labels = np.stack([ex.labels for ex in chunk])
+            if train:
+                self.model.train()
+                optimizer.zero_grad()
+                hidden = self.model(batch)
+                loss = cross_entropy_loss(
+                    self.model.mlm_logits(hidden), labels, ignore_index=IGNORE_INDEX
+                )
+                loss.backward()
+                clipper.clip()
+                optimizer.step()
+                value = loss.item()
+            else:
+                self.model.eval()
+                with no_grad():
+                    hidden = self.model(batch)
+                    value = cross_entropy_loss(
+                        self.model.mlm_logits(hidden), labels,
+                        ignore_index=IGNORE_INDEX,
+                    ).item()
+            total += value * len(chunk)
+            count += len(chunk)
+        return total / max(1, count)
+
+    def train(
+        self,
+        train_examples: list[MaskedExample],
+        valid_examples: list[MaskedExample],
+    ) -> PretrainHistory:
+        """Optimize the MLM objective with early stopping on validation loss."""
+        config = self.config
+        optimizer = Adam(self.model.parameters(), lr=config.learning_rate)
+        clipper = GradClipper(self.model.parameters(), max_norm=config.grad_clip)
+        rng = spawn_rng(config.seed, "pretrain-shuffle")
+        history = PretrainHistory()
+        best = float("inf")
+        best_state = None
+        since_best = 0
+        for _ in range(config.epochs):
+            train_loss = self._epoch_loss(train_examples, True, optimizer, clipper, rng)
+            valid_loss = (
+                self._epoch_loss(valid_examples, False, None, None, rng)
+                if valid_examples
+                else train_loss
+            )
+            history.train_losses.append(train_loss)
+            history.valid_losses.append(valid_loss)
+            if valid_loss < best - 1e-6:
+                best = valid_loss
+                since_best = 0
+                if config.restore_best:
+                    best_state = self.model.state_dict()
+            else:
+                since_best += 1
+                if since_best >= config.patience:
+                    history.stopped_early = True
+                    break
+        if config.restore_best and best_state is not None:
+            self.model.load_state_dict(best_state)
+        return history

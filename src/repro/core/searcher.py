@@ -1,0 +1,125 @@
+"""Search adapters: TabSketchFM (±SBERT) and fine-tuned baselines as
+retrieval systems over the benchmarks of §IV-C.
+
+- :class:`TabSketchFMSearcher` indexes column embeddings from a (fine-tuned)
+  trunk and follows the paper's retrieval recipes: closest-column ranking for
+  join queries, the Fig. 6 NEARTABLES/RANK1/RANK2 procedure for union and
+  subset queries. With ``sbert=...`` it concatenates normalized frozen value
+  embeddings per column (the TabSketchFM-SBERT variant).
+- :class:`DualEncoderSearcher` plays the TaBERT-FT / TUTA-FT roles: frozen
+  embeddings from a fine-tuned dual-encoder trunk. TUTA exposes only
+  table-level embeddings ("we could not include TUTA [for join] as it does
+  not provide column embeddings") — mirrored by ``table_level=True``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.embed import TableEmbedder, concat_normalized
+from repro.lakebench.base import SearchQuery
+from repro.search.index import KnnIndex
+from repro.search.tables import TableSearcher
+from repro.sketch.pipeline import TableSketch
+from repro.table.schema import Table
+from repro.text.sbert import HashedSentenceEncoder
+
+
+class TabSketchFMSearcher:
+    """Column-embedding search with the paper's ranking procedures."""
+
+    def __init__(
+        self,
+        embedder: TableEmbedder,
+        tables: dict[str, Table],
+        sketches: dict[str, TableSketch],
+        sbert: HashedSentenceEncoder | None = None,
+        name: str | None = None,
+    ):
+        self.embedder = embedder
+        self.tables = tables
+        self.sketches = sketches
+        self.sbert = sbert
+        self.name = name or ("TabSketchFM-SBERT" if sbert else "TabSketchFM")
+        dim = embedder.dim + (sbert.dim if sbert else 0)
+        self.searcher = TableSearcher(dim)
+        self._column_vectors: dict[tuple[str, str], np.ndarray] = {}
+        for table_name, sketch in sketches.items():
+            vectors = self._table_column_vectors(table_name, sketch)
+            for column_name, vector in vectors:
+                self.searcher.add_column(table_name, column_name, vector)
+                self._column_vectors[(table_name, column_name)] = vector
+
+    # ------------------------------------------------------------------ #
+    def _table_column_vectors(
+        self, table_name: str, sketch: TableSketch
+    ) -> list[tuple[str, np.ndarray]]:
+        embeddings = self.embedder.column_embeddings(sketch)
+        out: list[tuple[str, np.ndarray]] = []
+        table = self.tables[table_name]
+        for index, column_sketch in enumerate(sketch.column_sketches):
+            vector = embeddings[index]
+            if self.sbert is not None:
+                value_vec = self.sbert.encode_column(table.column(column_sketch.name))
+                vector = concat_normalized(vector, value_vec)
+            out.append((column_sketch.name, vector))
+        return out
+
+    def _query_vectors(self, query: SearchQuery) -> np.ndarray:
+        sketch = self.sketches[query.table]
+        if query.column is not None:
+            return self._column_vectors[(query.table, query.column)][None, :]
+        return np.stack(
+            [
+                self._column_vectors[(query.table, cs.name)]
+                for cs in sketch.column_sketches
+            ]
+        )
+
+    def retrieve(self, query: SearchQuery, k: int) -> list[str]:
+        vectors = self._query_vectors(query)
+        if query.column is not None:
+            return self.searcher.search_by_column(
+                vectors[0], k, exclude_table=query.table
+            )
+        return self.searcher.search_tables(vectors, k, exclude_table=query.table)
+
+
+class DualEncoderSearcher:
+    """TaBERT-FT / TUTA-FT style search over fine-tuned trunk embeddings."""
+
+    def __init__(self, trainer, tables: dict[str, Table], name: str,
+                 table_level: bool = False):
+        # ``trainer`` is a DualEncoderTrainer whose model has been fitted.
+        self.trainer = trainer
+        self.tables = tables
+        self.name = name
+        self.table_level = table_level
+        dim = trainer.model.trunk.dim
+        if table_level:
+            self.table_index = KnnIndex(dim)
+            for table_name, table in tables.items():
+                self.table_index.add(table_name, trainer.table_embedding(table))
+        else:
+            self.searcher = TableSearcher(dim)
+            self._column_vectors: dict[tuple[str, str], np.ndarray] = {}
+            for table_name, table in tables.items():
+                for column in table.columns:
+                    vector = trainer.column_embedding(table, column.name)
+                    self.searcher.add_column(table_name, column.name, vector)
+                    self._column_vectors[(table_name, column.name)] = vector
+
+    def retrieve(self, query: SearchQuery, k: int) -> list[str]:
+        if self.table_level:
+            table = self.tables[query.table]
+            vector = self.trainer.table_embedding(table)
+            hits = self.table_index.query(vector, k + 1)
+            return [key for key, _ in hits if key != query.table][:k]
+        if query.column is not None:
+            vector = self._column_vectors[(query.table, query.column)]
+            return self.searcher.search_by_column(vector, k, exclude_table=query.table)
+        table = self.tables[query.table]
+        vectors = np.stack(
+            [self._column_vectors[(query.table, c.name)] for c in table.columns]
+        )
+        return self.searcher.search_tables(vectors, k, exclude_table=query.table)

@@ -1,0 +1,18 @@
+"""Evaluation: classification/regression metrics and experiment runners."""
+
+from repro.eval.metrics import r2_score, weighted_f1
+from repro.eval.experiments import (
+    dataset_pair_examples,
+    evaluate_pair_task,
+    format_table,
+    sketch_cache,
+)
+
+__all__ = [
+    "r2_score",
+    "weighted_f1",
+    "dataset_pair_examples",
+    "evaluate_pair_task",
+    "format_table",
+    "sketch_cache",
+]

@@ -1,0 +1,386 @@
+"""Synthetic data-lake substrate.
+
+Everything LakeBench-like in this repo is generated from this module. The
+design goals mirror what made the paper's real datasets discriminative:
+
+- **Semantic domains** (municipalities, persons, products, ...) each with a
+  catalogue of entity *surface forms* and stable entity ids. Surfaces within
+  a domain share word- and character-level patterns (suffixes like "burg",
+  qualifier words like "upper"), so value-based encoders can recognize a
+  domain even when two tables share *no* values — the paper's Fig. 5
+  "municipalities of Slovakia" situation.
+- **Polysemy**: a fraction of surface forms is shared across two domains
+  under *different* entity ids (the paper's "Aleppo" meteorite-vs-city trap),
+  so exact value overlap does not always imply semantic joinability.
+- **Numeric attributes** with domain- and table-parameterized distributions,
+  yielding the numeric-heavy, enterprise-like tables the paper pre-trains on
+  (66% non-string columns).
+- Column-level **entity annotations** stored in ``Table.metadata`` provide
+  ground truth for benchmark construction only — no model or baseline ever
+  reads them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.table.schema import Column, ColumnType, Table
+
+# --------------------------------------------------------------------- #
+# domain specifications
+# --------------------------------------------------------------------- #
+
+#: (domain, key headers, surface suffixes, qualifier words, attributes,
+#:  description nouns). Attribute spec: (header, kind, low, high) where kind
+#:  is "int", "float" or "money"; ranges parameterize per-table jitter.
+DOMAIN_SPECS: list[dict] = [
+    {
+        "name": "municipality",
+        "headers": ["municipality", "city", "town", "settlement"],
+        "suffixes": ["burg", "ville", "stad", "ovo", "ice"],
+        "qualifiers": ["upper", "lower", "new", "old", "saint"],
+        "attributes": [
+            ("population", "int", 500, 2_000_000),
+            ("area km2", "float", 1.0, 900.0),
+            ("elevation m", "int", 0, 2500),
+        ],
+        "noun": "municipal statistics",
+    },
+    {
+        "name": "person",
+        "headers": ["name", "person", "employee", "author"],
+        "suffixes": ["son", "sen", "ez", "ov", "ini"],
+        "qualifiers": ["dr", "prof", "jr", "sr"],
+        "attributes": [
+            ("age", "int", 18, 90),
+            ("salary", "money", 20_000, 250_000),
+        ],
+        "noun": "personnel records",
+    },
+    {
+        "name": "product",
+        "headers": ["product", "item", "article"],
+        "suffixes": ["matic", "plus", "pro", "lite", "max"],
+        "qualifiers": ["mini", "ultra", "eco", "smart"],
+        "attributes": [
+            ("price", "money", 1, 5_000),
+            ("stock", "int", 0, 10_000),
+            ("rating", "float", 1.0, 5.0),
+        ],
+        "noun": "product inventory",
+    },
+    {
+        "name": "company",
+        "headers": ["company", "vendor", "organisation", "supplier"],
+        "suffixes": ["corp", "group", "labs", "works", "gmbh"],
+        "qualifiers": ["global", "united", "first", "royal"],
+        "attributes": [
+            ("revenue", "money", 100_000, 900_000_000),
+            ("employees", "int", 3, 90_000),
+        ],
+        "noun": "company registry",
+    },
+    {
+        "name": "country",
+        "headers": ["country", "nation", "state"],
+        "suffixes": ["land", "stan", "ia", "mark"],
+        "qualifiers": ["north", "south", "east", "west"],
+        "attributes": [
+            ("gdp", "money", 1_000_000, 9_000_000_000),
+            ("population", "int", 100_000, 900_000_000),
+        ],
+        "noun": "national indicators",
+    },
+    {
+        "name": "meteorite",
+        "headers": ["meteorite", "specimen", "find"],
+        "suffixes": ["ite", "ito", "ion"],
+        "qualifiers": ["great", "little"],
+        "attributes": [
+            ("mass g", "float", 0.5, 60_000.0),
+            ("year found", "int", 1800, 2024),
+        ],
+        "noun": "meteorite landings",
+    },
+    {
+        "name": "species",
+        "headers": ["species", "organism", "taxon"],
+        "suffixes": ["us", "ara", "odon", "ella"],
+        "qualifiers": ["dwarf", "giant", "common", "spotted"],
+        "attributes": [
+            ("length cm", "float", 0.1, 900.0),
+            ("weight kg", "float", 0.01, 5_000.0),
+        ],
+        "noun": "species observations",
+    },
+    {
+        "name": "street",
+        "headers": ["street", "address", "road"],
+        "suffixes": ["street", "avenue", "lane", "way"],
+        "qualifiers": ["north", "south", "main", "park"],
+        "attributes": [
+            ("house count", "int", 2, 400),
+            ("length m", "float", 50.0, 5_000.0),
+        ],
+        "noun": "street registry",
+    },
+    {
+        "name": "currency",
+        "headers": ["currency", "currency code", "denomination"],
+        "suffixes": ["o", "ar", "een", "u"],
+        "qualifiers": ["digital", "old"],
+        "attributes": [
+            ("exchange rate", "float", 0.001, 150.0),
+            ("inflation pct", "float", -2.0, 45.0),
+        ],
+        "noun": "exchange rates",
+    },
+    {
+        "name": "department",
+        "headers": ["department", "unit", "division"],
+        "suffixes": ["dept", "office", "bureau"],
+        "qualifiers": ["central", "regional", "federal"],
+        "attributes": [
+            ("budget", "money", 10_000, 80_000_000),
+            ("headcount", "int", 1, 4_000),
+        ],
+        "noun": "departmental budgets",
+    },
+]
+
+_CONSONANTS = "bcdfghklmnprstvz"
+_VOWELS = "aeiou"
+
+
+def _pseudo_stem(rng: np.random.Generator, syllables: int = 2) -> str:
+    """A pronounceable pseudo-word stem like "karo" or "velira"."""
+    parts = []
+    for _ in range(syllables):
+        parts.append(_CONSONANTS[rng.integers(len(_CONSONANTS))])
+        parts.append(_VOWELS[rng.integers(len(_VOWELS))])
+    return "".join(parts)
+
+
+@dataclass(frozen=True)
+class Entity:
+    """A catalogued entity: surface form + stable annotation id."""
+
+    surface: str
+    entity_id: str
+
+
+@dataclass
+class Domain:
+    """A semantic domain with its entity catalogue and schema hints."""
+
+    name: str
+    headers: list[str]
+    entities: list[Entity]
+    attributes: list[tuple[str, str, float, float]]
+    qualifiers: list[str]
+    noun: str
+
+    def surfaces(self) -> list[str]:
+        return [e.surface for e in self.entities]
+
+
+@dataclass(frozen=True)
+class LakeConfig:
+    """Scale knobs for the synthetic lake."""
+
+    entities_per_domain: int = 400
+    #: Fraction of each domain's surfaces that are *copied* from another
+    #: domain (polysemous traps with different entity ids).
+    polysemy_fraction: float = 0.05
+    seed: int = 7
+
+
+class EntityCatalogue:
+    """All domains plus the polysemy structure."""
+
+    def __init__(self, config: LakeConfig | None = None):
+        self.config = config or LakeConfig()
+        rng = np.random.default_rng(self.config.seed)
+        self.domains: dict[str, Domain] = {}
+        for spec in DOMAIN_SPECS:
+            entities: list[Entity] = []
+            seen: set[str] = set()
+            while len(entities) < self.config.entities_per_domain:
+                stem = _pseudo_stem(rng, syllables=int(rng.integers(2, 4)))
+                suffix = spec["suffixes"][rng.integers(len(spec["suffixes"]))]
+                surface = f"{stem}{suffix}"
+                if rng.random() < 0.3:
+                    qualifier = spec["qualifiers"][rng.integers(len(spec["qualifiers"]))]
+                    surface = f"{qualifier} {surface}"
+                if surface in seen:
+                    continue
+                seen.add(surface)
+                entities.append(
+                    Entity(surface, f"{spec['name']}:{len(entities)}")
+                )
+            self.domains[spec["name"]] = Domain(
+                name=spec["name"],
+                headers=list(spec["headers"]),
+                entities=entities,
+                attributes=list(spec["attributes"]),
+                qualifiers=list(spec["qualifiers"]),
+                noun=spec["noun"],
+            )
+        self._inject_polysemy(rng)
+
+    def _inject_polysemy(self, rng: np.random.Generator) -> None:
+        """Copy surfaces across domain pairs under fresh entity ids."""
+        names = list(self.domains)
+        count = int(self.config.entities_per_domain * self.config.polysemy_fraction)
+        for i, target_name in enumerate(names):
+            source_name = names[(i + 1) % len(names)]
+            source = self.domains[source_name]
+            target = self.domains[target_name]
+            picks = rng.choice(len(source.entities), size=count, replace=False)
+            for j, pick in enumerate(picks):
+                surface = source.entities[int(pick)].surface
+                # Replace one target entity's surface with the foreign one,
+                # keeping the *target* id: same string, different meaning.
+                slot = int(rng.integers(len(target.entities)))
+                target.entities[slot] = Entity(
+                    surface, target.entities[slot].entity_id
+                )
+
+    def domain(self, name: str) -> Domain:
+        return self.domains[name]
+
+    @property
+    def domain_names(self) -> list[str]:
+        return list(self.domains)
+
+
+# --------------------------------------------------------------------- #
+# table factory
+# --------------------------------------------------------------------- #
+class TableFactory:
+    """Builds lake tables over an :class:`EntityCatalogue`.
+
+    Every produced table carries benchmark-construction metadata:
+    ``metadata["domain"]``, ``metadata["key_column"]`` and
+    ``metadata["column_entities"]`` (column name → list of entity ids).
+    """
+
+    def __init__(self, catalogue: EntityCatalogue):
+        self.catalogue = catalogue
+
+    # ------------------------------------------------------------------ #
+    def _numeric_column(
+        self, header: str, kind: str, low: float, high: float,
+        n_rows: int, rng: np.random.Generator, scale_shift: float = 1.0,
+    ) -> Column:
+        """One numeric attribute column with per-table jittered parameters."""
+        center = np.exp(rng.uniform(np.log(max(low, 1e-3)), np.log(max(high, 1e-2))))
+        center *= scale_shift
+        spread = center * rng.uniform(0.1, 0.6)
+        values = rng.normal(center, spread, size=n_rows)
+        values = np.clip(values, low * scale_shift, high * scale_shift)
+        if kind == "int":
+            cells = [str(int(round(v))) for v in values]
+            ctype = ColumnType.INTEGER
+        elif kind == "money":
+            cells = [str(int(round(v))) for v in values]
+            ctype = ColumnType.INTEGER
+        else:
+            cells = [f"{v:.2f}" for v in values]
+            ctype = ColumnType.FLOAT
+        return Column(header, cells, ctype)
+
+    def _date_column(self, header: str, n_rows: int, rng: np.random.Generator) -> Column:
+        year0 = int(rng.integers(1995, 2015))
+        cells = [
+            f"{year0 + int(rng.integers(0, 10))}-{int(rng.integers(1, 13)):02d}-"
+            f"{int(rng.integers(1, 28)):02d}"
+            for _ in range(n_rows)
+        ]
+        return Column(header, cells, ColumnType.DATE)
+
+    # ------------------------------------------------------------------ #
+    def entity_table(
+        self,
+        name: str,
+        domain_name: str,
+        rng: np.random.Generator,
+        n_rows: int = 40,
+        n_attributes: int | None = None,
+        entity_indices: list[int] | None = None,
+        key_header: str | None = None,
+        generic_headers: bool = False,
+        include_date: bool = False,
+        scale_shift: float = 1.0,
+        description: str | None = None,
+    ) -> Table:
+        """A table about one domain: key column + numeric attributes.
+
+        ``entity_indices`` selects which catalogue entities appear (with
+        replacement-free sampling when omitted), enabling precise control of
+        value overlap between generated tables.
+        """
+        domain = self.catalogue.domain(domain_name)
+        if entity_indices is None:
+            n_pick = min(n_rows, len(domain.entities))
+            entity_indices = rng.choice(
+                len(domain.entities), size=n_pick, replace=False
+            ).tolist()
+        picked = [domain.entities[int(i)] for i in entity_indices]
+        n_rows = len(picked)
+
+        key_header = key_header or domain.headers[int(rng.integers(len(domain.headers)))]
+        if generic_headers:
+            key_header = "name"
+        key_column = Column(key_header, [e.surface for e in picked], ColumnType.STRING)
+
+        if n_attributes is None:
+            n_attributes = int(rng.integers(1, len(domain.attributes) + 1))
+        attr_specs = list(domain.attributes)
+        rng.shuffle(attr_specs)
+        columns = [key_column]
+        entities_by_column = {key_header: [e.entity_id for e in picked]}
+        for attr_index, (header, kind, low, high) in enumerate(attr_specs[:n_attributes]):
+            if generic_headers:
+                header = f"value {attr_index + 1}"
+            columns.append(
+                self._numeric_column(header, kind, low, high, n_rows, rng, scale_shift)
+            )
+        if include_date:
+            date_header = "value date" if generic_headers else "reference date"
+            columns.append(self._date_column(date_header, n_rows, rng))
+
+        desc = description
+        if desc is None:
+            desc = "" if generic_headers else f"open data {domain.noun}"
+        table = Table(name=name, columns=columns, description=desc)
+        table.metadata.update(
+            domain=domain_name,
+            key_column=key_header,
+            column_entities=entities_by_column,
+        )
+        return table
+
+    # ------------------------------------------------------------------ #
+    def overlapping_entity_indices(
+        self,
+        domain_name: str,
+        rng: np.random.Generator,
+        n_first: int,
+        n_second: int,
+        overlap: float,
+    ) -> tuple[list[int], list[int]]:
+        """Two entity index lists whose sets have (approximately) the given
+        overlap fraction relative to the first list."""
+        domain = self.catalogue.domain(domain_name)
+        universe = rng.permutation(len(domain.entities)).tolist()
+        n_shared = min(int(round(overlap * n_first)), n_first, n_second)
+        shared = universe[:n_shared]
+        rest = universe[n_shared:]
+        first = shared + rest[: n_first - n_shared]
+        second = shared + rest[
+            n_first - n_shared : n_first - n_shared + (n_second - n_shared)
+        ]
+        return first, second

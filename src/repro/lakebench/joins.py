@@ -1,0 +1,232 @@
+"""Join-task datasets: Wiki Jaccard, Wiki Containment, Spider-OpenData,
+ECB Join (Table I rows 4-7).
+
+- **Wiki Jaccard** (regression): estimate the Jaccard similarity between the
+  key columns of two entity tables. Targets are *exact* Jaccard values
+  computed from the generated cells.
+- **Wiki Containment** (regression): same protocol with set containment of
+  the first table's key column in the second's.
+- **Spider-OpenData** (binary): does any column pair join? Positives share a
+  high-containment key column (possibly under different headers); negatives
+  have no meaningful value overlap.
+- **ECB Join** (multi-label): an 8-slot economic template; predict *which*
+  of the first table's columns are joinable with the second table
+  (N = 8 outputs with BCE-with-logits, §III-D).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.finetune import TaskType
+from repro.lakebench.base import TablePair, TablePairDataset, split_pairs
+from repro.lakebench.generators import EntityCatalogue, LakeConfig, TableFactory
+from repro.sketch.minhash import exact_containment, exact_jaccard
+from repro.table.schema import Column, ColumnType, Table
+from repro.utils.rng import spawn_rng
+
+
+def _factory(seed: int) -> TableFactory:
+    return TableFactory(EntityCatalogue(LakeConfig(seed=seed)))
+
+
+# --------------------------------------------------------------------- #
+# Wiki Jaccard / Containment
+# --------------------------------------------------------------------- #
+def _make_overlap_regression(
+    name: str, metric: str, scale: float, seed: int
+) -> TablePairDataset:
+    factory = _factory(seed)
+    rng = spawn_rng(seed, name)
+    domains = factory.catalogue.domain_names
+    n_pairs = max(40, int(round(140 * scale)))
+
+    tables: dict[str, Table] = {}
+    pairs: list[TablePair] = []
+    for pair_index in range(n_pairs):
+        same_domain = rng.random() < 0.8
+        if same_domain:
+            domain = domains[int(rng.integers(len(domains)))]
+            target = float(rng.uniform(0.0, 1.0))
+            n_first = int(rng.integers(15, 40))
+            n_second = int(rng.integers(15, 40))
+            first_idx, second_idx = factory.overlapping_entity_indices(
+                domain, rng, n_first, n_second, overlap=target
+            )
+            a = factory.entity_table(
+                f"{name}_{pair_index}_a".replace(" ", "_").lower(), domain, rng,
+                entity_indices=first_idx, n_attributes=1,
+            )
+            b = factory.entity_table(
+                f"{name}_{pair_index}_b".replace(" ", "_").lower(), domain, rng,
+                entity_indices=second_idx, n_attributes=1,
+            )
+        else:
+            d1, d2 = rng.choice(len(domains), size=2, replace=False)
+            a = factory.entity_table(
+                f"{name}_{pair_index}_a".replace(" ", "_").lower(),
+                domains[int(d1)], rng, n_rows=25, n_attributes=1,
+            )
+            b = factory.entity_table(
+                f"{name}_{pair_index}_b".replace(" ", "_").lower(),
+                domains[int(d2)], rng, n_rows=25, n_attributes=1,
+            )
+        key_a = set(a.columns[0].values)
+        key_b = set(b.columns[0].values)
+        if metric == "jaccard":
+            label = exact_jaccard(key_a, key_b)
+        else:
+            label = exact_containment(key_a, key_b)
+        tables[a.name] = a
+        tables[b.name] = b
+        pairs.append(TablePair(a.name, b.name, float(label)))
+
+    rng.shuffle(pairs)
+    train, test, valid = split_pairs(pairs)
+    return TablePairDataset(
+        name, TaskType.REGRESSION, tables, train, test, valid, num_outputs=1
+    )
+
+
+def make_wiki_jaccard(scale: float = 1.0, seed: int = 19) -> TablePairDataset:
+    """Regression on exact key-column Jaccard similarity."""
+    return _make_overlap_regression("Wiki Jaccard", "jaccard", scale, seed)
+
+
+def make_wiki_containment(scale: float = 1.0, seed: int = 23) -> TablePairDataset:
+    """Regression on exact key-column containment."""
+    return _make_overlap_regression("Wiki Containment", "containment", scale, seed)
+
+
+# --------------------------------------------------------------------- #
+# Spider-OpenData
+# --------------------------------------------------------------------- #
+def make_spider_opendata(scale: float = 1.0, seed: int = 29) -> TablePairDataset:
+    """Binary joinability with heterogeneous schemas and headers."""
+    factory = _factory(seed)
+    rng = spawn_rng(seed, "spider-opendata")
+    domains = factory.catalogue.domain_names
+    n_pairs = max(40, int(round(120 * scale)))
+
+    tables: dict[str, Table] = {}
+    pairs: list[TablePair] = []
+    for pair_index in range(n_pairs):
+        positive = pair_index % 2 == 0
+        if positive:
+            domain = domains[int(rng.integers(len(domains)))]
+            overlap = float(rng.uniform(0.55, 0.95))
+            first_idx, second_idx = factory.overlapping_entity_indices(
+                domain, rng, n_first=30, n_second=30, overlap=overlap
+            )
+            a = factory.entity_table(
+                f"sod_{pair_index}_a", domain, rng, entity_indices=first_idx,
+                n_attributes=2, include_date=bool(rng.random() < 0.5),
+            )
+            b = factory.entity_table(
+                f"sod_{pair_index}_b", domain, rng, entity_indices=second_idx,
+                n_attributes=2, include_date=bool(rng.random() < 0.5),
+                # The join key often hides under a different header.
+                key_header=None,
+            )
+            label = 1
+        else:
+            d1, d2 = rng.choice(len(domains), size=2, replace=False)
+            a = factory.entity_table(
+                f"sod_{pair_index}_a", domains[int(d1)], rng, n_rows=30,
+                n_attributes=2, include_date=bool(rng.random() < 0.5),
+            )
+            b = factory.entity_table(
+                f"sod_{pair_index}_b", domains[int(d2)], rng, n_rows=30,
+                n_attributes=2, include_date=bool(rng.random() < 0.5),
+            )
+            label = 0
+        tables[a.name] = a
+        tables[b.name] = b
+        pairs.append(TablePair(a.name, b.name, label))
+
+    rng.shuffle(pairs)
+    train, test, valid = split_pairs(pairs)
+    return TablePairDataset(
+        "Spider-OpenData", TaskType.BINARY, tables, train, test, valid, num_outputs=2
+    )
+
+
+# --------------------------------------------------------------------- #
+# ECB Join
+# --------------------------------------------------------------------- #
+
+#: The 8 template slots of the synthetic ECB schema. The first three are
+#: string-typed joinable candidates; the rest are numeric indicators.
+ECB_JOIN_SLOTS = [
+    "country", "currency code", "reporting sector",
+    "gdp", "inflation rate", "interest rate", "trade balance", "bond yield",
+]
+
+_SLOT_DOMAINS = {"country": "country", "currency code": "currency",
+                 "reporting sector": "department"}
+
+
+def make_ecb_join(scale: float = 1.0, seed: int = 31) -> TablePairDataset:
+    """Multi-label: which of table A's 8 slots join with table B?"""
+    factory = _factory(seed)
+    rng = spawn_rng(seed, "ecb-join")
+    n_pairs = max(30, int(round(90 * scale)))
+    n_slots = len(ECB_JOIN_SLOTS)
+
+    tables: dict[str, Table] = {}
+    pairs: list[TablePair] = []
+
+    def build(name: str, entity_sets: dict[str, list[int]]) -> Table:
+        n_rows = 35
+        columns: list[Column] = []
+        for slot in ECB_JOIN_SLOTS:
+            if slot in _SLOT_DOMAINS:
+                domain = factory.catalogue.domain(_SLOT_DOMAINS[slot])
+                indices = entity_sets[slot]
+                # Cycle entities to fill all rows.
+                cells = [
+                    domain.entities[indices[r % len(indices)]].surface
+                    for r in range(n_rows)
+                ]
+                columns.append(Column(slot, cells, ColumnType.STRING))
+            else:
+                values = rng.normal(100.0, 40.0, size=n_rows) * rng.uniform(0.5, 2.0)
+                columns.append(
+                    Column(slot, [f"{v:.2f}" for v in values], ColumnType.FLOAT)
+                )
+        table = Table(name=name, columns=columns, description="ecb statistics")
+        tables[name] = table
+        return table
+
+    string_slots = [s for s in ECB_JOIN_SLOTS if s in _SLOT_DOMAINS]
+    for pair_index in range(n_pairs):
+        n_join = int(rng.integers(0, len(string_slots) + 1))
+        join_slots = set(
+            rng.choice(string_slots, size=n_join, replace=False).tolist()
+        )
+        a_sets: dict[str, list[int]] = {}
+        b_sets: dict[str, list[int]] = {}
+        label = np.zeros(n_slots, dtype=np.float64)
+        for slot in string_slots:
+            domain_name = _SLOT_DOMAINS[slot]
+            if slot in join_slots:
+                first, second = factory.overlapping_entity_indices(
+                    domain_name, rng, 15, 15, overlap=float(rng.uniform(0.6, 0.95))
+                )
+                label[ECB_JOIN_SLOTS.index(slot)] = 1.0
+            else:
+                first, second = factory.overlapping_entity_indices(
+                    domain_name, rng, 15, 15, overlap=0.0
+                )
+            a_sets[slot] = [int(i) for i in first]
+            b_sets[slot] = [int(i) for i in second]
+        a = build(f"ecbj_{pair_index}_a", a_sets)
+        b = build(f"ecbj_{pair_index}_b", b_sets)
+        pairs.append(TablePair(a.name, b.name, label.tolist()))
+
+    rng.shuffle(pairs)
+    train, test, valid = split_pairs(pairs)
+    return TablePairDataset(
+        "ECB Join", TaskType.MULTILABEL, tables, train, test, valid,
+        num_outputs=n_slots,
+    )

@@ -1,0 +1,256 @@
+"""Search benchmarks: Wiki Join, TUS, SANTOS union, Eurostat subset (§IV-C).
+
+Ground-truth construction follows the paper:
+
+- **Wiki Join** — columns are annotated with entity ids (the generator's
+  catalogue plays Wikidata's role); two columns are *sensibly joinable* when
+  the Jaccard similarity of their entity-annotation sets exceeds 0.5. Because
+  the catalogue contains polysemous surface forms, high raw-value overlap
+  does not always imply joinability (the paper's "Aleppo" example, Fig. 5).
+- **TUS / SANTOS union** — unionable groups are variants (row samples +
+  column projections) of a common base table; SANTOS tables carry a binary
+  relationship (two entity columns), TUS tables a single entity column.
+- **Eurostat subset** — each base CSV yields the paper's 11 variants
+  (Fig. 7: 25/50/75% rows/columns grid plus full-size row and column
+  shuffles); a query's relevant set is exactly its variants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lakebench.base import SearchBenchmark, SearchQuery
+from repro.lakebench.generators import EntityCatalogue, LakeConfig, TableFactory
+from repro.table.schema import Column, ColumnType, Table
+from repro.table.transform import project_columns, sample_rows, subset_variants
+from repro.utils.rng import spawn_rng
+
+
+def _factory(seed: int) -> TableFactory:
+    return TableFactory(EntityCatalogue(LakeConfig(seed=seed)))
+
+
+# --------------------------------------------------------------------- #
+# Wiki Join search
+# --------------------------------------------------------------------- #
+def make_wiki_join_search(scale: float = 1.0, seed: int = 41) -> SearchBenchmark:
+    """Join search with entity-annotation ground truth (Jaccard > 0.5).
+
+    Each cluster contains ~10 genuinely joinable tables (annotation overlap
+    0.75-0.95 against a shared anchor), same-domain distractors with moderate
+    overlap (0.15-0.35 — lexically similar but below the 0.5 relevance bar),
+    and *polysemy traps*: tables from a different domain whose key column
+    reuses the anchor's surface strings under different entity ids, so raw
+    value overlap is high while true joinability is nil (Fig. 5).
+    """
+    factory = _factory(seed)
+    rng = spawn_rng(seed, "wiki-join-search")
+    domains = factory.catalogue.domain_names
+    n_clusters = max(6, int(round(12 * scale)))
+    relevant_per_cluster = 10
+    distractors_per_cluster = 3
+    traps_per_cluster = 2
+
+    tables: dict[str, Table] = {}
+    annotations: dict[str, tuple[str, set[str]]] = {}  # table -> (key col, ids)
+
+    def register(table: Table) -> None:
+        tables[table.name] = table
+        key = table.metadata["key_column"]
+        ids = set(table.metadata["column_entities"][key])
+        annotations[table.name] = (key, ids)
+
+    for cluster_index in range(n_clusters):
+        domain = domains[cluster_index % len(domains)]
+        domain_obj = factory.catalogue.domain(domain)
+        anchor = rng.choice(
+            len(domain_obj.entities), size=28, replace=False
+        ).tolist()
+        anchor_set = set(anchor)
+        for member in range(relevant_per_cluster):
+            # High mutual overlap: each member keeps ~75-95% of the anchor.
+            keep = max(21, int(len(anchor) * rng.uniform(0.75, 0.95)))
+            picked = rng.choice(anchor, size=keep, replace=False).tolist()
+            table = factory.entity_table(
+                f"wjs_{cluster_index}_m{member}", domain, rng,
+                entity_indices=[int(i) for i in picked],
+                n_attributes=int(rng.integers(1, 3)),
+            )
+            register(table)
+        non_anchor = [
+            i for i in range(len(domain_obj.entities)) if i not in anchor_set
+        ]
+        for distractor in range(distractors_per_cluster):
+            # Same domain, moderate overlap: lexically close, not joinable.
+            n_shared = int(len(anchor) * rng.uniform(0.15, 0.35))
+            shared = rng.choice(anchor, size=n_shared, replace=False).tolist()
+            fresh = rng.choice(
+                non_anchor, size=len(anchor) - n_shared, replace=False
+            ).tolist()
+            table = factory.entity_table(
+                f"wjs_{cluster_index}_d{distractor}", domain, rng,
+                entity_indices=[int(i) for i in shared + fresh],
+                n_attributes=int(rng.integers(1, 3)),
+            )
+            register(table)
+        trap_domain = domains[(cluster_index + 1) % len(domains)]
+        for trap in range(traps_per_cluster):
+            # Polysemy trap: the anchor's *surfaces* under foreign entity ids.
+            n_copy = int(len(anchor) * rng.uniform(0.6, 0.8))
+            copied = rng.choice(anchor, size=n_copy, replace=False).tolist()
+            surfaces = [domain_obj.entities[int(i)].surface for i in copied]
+            table = factory.entity_table(
+                f"wjs_{cluster_index}_t{trap}", trap_domain, rng,
+                n_rows=len(surfaces), n_attributes=int(rng.integers(1, 3)),
+            )
+            key_header = table.metadata["key_column"]
+            trap_ids = table.metadata["column_entities"][key_header]
+            key_column = table.column(key_header)
+            key_column.values = list(surfaces)
+            table.metadata["column_entities"][key_header] = trap_ids[: len(surfaces)]
+            register(table)
+
+    # Ground truth from annotation Jaccard (> 0.5), exactly as in §IV-C1.
+    names = list(tables)
+    ground_truth: dict[str, set[str]] = {}
+    queries: list[SearchQuery] = []
+    for name in names:
+        key_col, ids = annotations[name]
+        relevant: set[str] = set()
+        for other in names:
+            if other == name:
+                continue
+            _, other_ids = annotations[other]
+            union = ids | other_ids
+            if union and len(ids & other_ids) / len(union) > 0.5:
+                relevant.add(other)
+        if relevant:
+            query = SearchQuery(table=name, column=key_col)
+            queries.append(query)
+            ground_truth[query.key] = relevant
+
+    return SearchBenchmark("Wiki Join Search", "join", tables, queries, ground_truth)
+
+
+# --------------------------------------------------------------------- #
+# Union search (TUS & SANTOS)
+# --------------------------------------------------------------------- #
+def _union_search(
+    name: str, scale: float, seed: int, n_topics: int, group_size: int,
+    relationship: bool,
+) -> SearchBenchmark:
+    factory = _factory(seed)
+    rng = spawn_rng(seed, name)
+    domains = factory.catalogue.domain_names
+    n_topics = max(4, int(round(n_topics * scale)))
+
+    tables: dict[str, Table] = {}
+    groups: list[list[str]] = []
+    for topic in range(n_topics):
+        domain = domains[topic % len(domains)]
+        base = factory.entity_table(
+            f"{name.lower().replace(' ', '_')}_base_{topic}", domain, rng,
+            n_rows=50, n_attributes=3, include_date=True,
+        )
+        if relationship:
+            # SANTOS-style binary relationship: add a second entity column
+            # whose values co-vary with the key (e.g. municipality→country).
+            partner = domains[(topic + 3) % len(domains)]
+            partner_domain = factory.catalogue.domain(partner)
+            n_partners = 6
+            partner_ids = rng.choice(
+                len(partner_domain.entities), size=n_partners, replace=False
+            ).tolist()
+            mapping = [
+                partner_domain.entities[partner_ids[rng.integers(n_partners)]].surface
+                for _ in range(base.n_rows)
+            ]
+            rel_header = partner_domain.headers[0]
+            base = base.with_columns(
+                base.columns + [Column(rel_header, mapping, ColumnType.STRING)]
+            )
+            base.metadata["relationship"] = (base.metadata["key_column"], rel_header)
+        group: list[str] = []
+        for member in range(group_size):
+            variant = sample_rows(base, rng.uniform(0.4, 0.9), rng)
+            n_keep = int(rng.integers(max(2, base.n_cols - 2), base.n_cols + 1))
+            keep = [0] + sorted(
+                rng.choice(range(1, base.n_cols), size=n_keep - 1, replace=False).tolist()
+            )
+            variant = project_columns(
+                variant, keep, name=f"{name.lower().replace(' ', '_')}_{topic}_{member}"
+            )
+            # Open-data headers are frequently cryptic; 40% of the variants
+            # get positional headers so header evidence alone cannot solve
+            # the benchmark (matches the original TUS difficulty profile).
+            if rng.random() < 0.4:
+                variant = variant.with_columns(
+                    [
+                        Column(f"col {idx}", column.values, column.ctype)
+                        for idx, column in enumerate(variant.columns)
+                    ]
+                )
+            variant.metadata.update(base.metadata)
+            tables[variant.name] = variant
+            group.append(variant.name)
+        groups.append(group)
+
+    queries: list[SearchQuery] = []
+    ground_truth: dict[str, set[str]] = {}
+    for group in groups:
+        for member in group:
+            query = SearchQuery(table=member)
+            queries.append(query)
+            ground_truth[query.key] = set(group) - {member}
+
+    return SearchBenchmark(name, "union", tables, queries, ground_truth)
+
+
+def make_tus_search(scale: float = 1.0, seed: int = 43) -> SearchBenchmark:
+    """TUS-small-style union search (single entity column per table)."""
+    return _union_search("TUS Search", scale, seed, n_topics=12, group_size=8,
+                         relationship=False)
+
+
+def make_santos_search(scale: float = 1.0, seed: int = 47) -> SearchBenchmark:
+    """SANTOS-small-style union search (binary-relationship tables)."""
+    return _union_search("SANTOS Search", scale, seed, n_topics=10, group_size=6,
+                         relationship=True)
+
+
+# --------------------------------------------------------------------- #
+# Eurostat subset search
+# --------------------------------------------------------------------- #
+def make_eurostat_subset_search(scale: float = 1.0, seed: int = 53) -> SearchBenchmark:
+    """Subset search: 11 Fig.-7 variants per Eurostat-like base CSV."""
+    factory = _factory(seed)
+    rng = spawn_rng(seed, "eurostat-subset")
+    domains = factory.catalogue.domain_names
+    n_bases = max(8, int(round(20 * scale)))
+
+    tables: dict[str, Table] = {}
+    queries: list[SearchQuery] = []
+    ground_truth: dict[str, set[str]] = {}
+    for base_index in range(n_bases):
+        domain = domains[base_index % len(domains)]
+        # Eurostat CSVs are long: many more distinct values than a top-100
+        # column sentence can carry, as in the original corpus (avg 2 157
+        # rows per file, Table I).
+        base = factory.entity_table(
+            f"estat_{base_index}", domain, rng,
+            n_rows=160, n_attributes=3, include_date=True,
+            description="eurostat data collection",
+        )
+        tables[base.name] = base
+        variant_names: set[str] = set()
+        for _, variant in subset_variants(base, rng):
+            variant.metadata.update(base.metadata)
+            tables[variant.name] = variant
+            variant_names.add(variant.name)
+        query = SearchQuery(table=base.name)
+        queries.append(query)
+        ground_truth[query.key] = variant_names
+
+    return SearchBenchmark(
+        "Eurostat Subset Search", "subset", tables, queries, ground_truth
+    )

@@ -1,0 +1,103 @@
+"""CKAN Subset (Table I row 8): binary subset detection.
+
+The defining property of the original benchmark (per §IV-A2): "the column
+headers were exactly the same" for every pair, so header-only models are
+reduced to random guessing, and "most systems ... did not have a view of the
+entire dataset". Every table here uses the identical ESTAT-style template::
+
+    dataflow | freq | unit | geo | time period | obs value
+
+- Positives: the second table is a genuine row-sample (25-75%) of the first.
+- Negatives: an independently generated table from the same template with a
+  different geography subset and a shifted value distribution — numerical
+  sketches (percentiles, min/max, unique fraction) and value MinHash overlap
+  are the discriminating signals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.finetune import TaskType
+from repro.lakebench.base import TablePair, TablePairDataset, split_pairs
+from repro.lakebench.generators import EntityCatalogue, LakeConfig, TableFactory
+from repro.table.schema import Column, ColumnType, Table
+from repro.table.transform import sample_rows
+from repro.utils.rng import spawn_rng
+
+#: The fixed template headers shared by *all* CKAN Subset tables.
+CKAN_TEMPLATE = ["dataflow", "freq", "unit", "geo", "time period", "obs value"]
+
+_FLOWS = ["ESTAT:AACT_EAA01(1.0)", "ESTAT:NAMA_10_GDP(1.1)", "ESTAT:DEMO_PJAN(2.0)"]
+_UNITS = ["MIO_EUR", "THS_T", "PC_GDP", "NR"]
+
+
+def _ckan_table(
+    name: str, factory: TableFactory, rng: np.random.Generator,
+    n_rows: int, value_center: float, geo_indices: list[int],
+) -> Table:
+    domain = factory.catalogue.domain("country")
+    flow = _FLOWS[int(rng.integers(len(_FLOWS)))]
+    unit = _UNITS[int(rng.integers(len(_UNITS)))]
+    geos = [domain.entities[geo_indices[r % len(geo_indices)]].surface
+            for r in range(n_rows)]
+    years = [str(int(rng.integers(1990, 2024))) for _ in range(n_rows)]
+    values = rng.normal(value_center, value_center * 0.4, size=n_rows)
+    columns = [
+        Column("dataflow", [flow] * n_rows, ColumnType.STRING),
+        Column("freq", ["A"] * n_rows, ColumnType.STRING),
+        Column("unit", [unit] * n_rows, ColumnType.STRING),
+        Column("geo", geos, ColumnType.STRING),
+        Column("time period", years, ColumnType.INTEGER),
+        Column("obs value", [f"{v:.2f}" for v in values], ColumnType.FLOAT),
+    ]
+    table = Table(name=name, columns=columns, description="")
+    table.metadata.update(domain="country", key_column="geo")
+    return table
+
+
+def make_ckan_subset(scale: float = 1.0, seed: int = 37) -> TablePairDataset:
+    """Binary subset detection over an identical-header template."""
+    factory = TableFactory(EntityCatalogue(LakeConfig(seed=seed)))
+    rng = spawn_rng(seed, "ckan-subset")
+    n_pairs = max(40, int(round(120 * scale)))
+    domain = factory.catalogue.domain("country")
+
+    tables: dict[str, Table] = {}
+    pairs: list[TablePair] = []
+    for pair_index in range(n_pairs):
+        positive = pair_index % 2 == 0
+        n_rows = int(rng.integers(40, 90))
+        center = float(np.exp(rng.uniform(np.log(10.0), np.log(1e6))))
+        geo_indices = rng.choice(
+            len(domain.entities), size=int(rng.integers(8, 25)), replace=False
+        ).tolist()
+        base = _ckan_table(
+            f"ckan_{pair_index}_a", factory, rng, n_rows, center, geo_indices
+        )
+        if positive:
+            other = sample_rows(
+                base, float(rng.uniform(0.25, 0.75)), rng,
+                name=f"ckan_{pair_index}_b",
+            )
+            other.metadata.update(base.metadata)
+            label = 1
+        else:
+            other_center = center * float(np.exp(rng.uniform(np.log(3.0), np.log(50.0))))
+            other_geos = rng.choice(
+                len(domain.entities), size=int(rng.integers(8, 25)), replace=False
+            ).tolist()
+            other = _ckan_table(
+                f"ckan_{pair_index}_b", factory, rng,
+                int(rng.integers(20, 60)), other_center, other_geos,
+            )
+            label = 0
+        tables[base.name] = base
+        tables[other.name] = other
+        pairs.append(TablePair(base.name, other.name, label))
+
+    rng.shuffle(pairs)
+    train, test, valid = split_pairs(pairs)
+    return TablePairDataset(
+        "CKAN Subset", TaskType.BINARY, tables, train, test, valid, num_outputs=2
+    )

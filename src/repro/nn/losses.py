@@ -1,0 +1,51 @@
+"""Losses: cross-entropy (MLM / classification), MSE (regression),
+binary-cross-entropy with logits (multi-label), matching §III-C/§III-D."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, log_softmax
+
+
+def cross_entropy_loss(
+    logits: Tensor, labels: np.ndarray, ignore_index: int = -100
+) -> Tensor:
+    """Mean token-level cross-entropy.
+
+    ``logits``: (N, C) or (B, S, C); ``labels``: matching integer array.
+    Positions equal to ``ignore_index`` contribute nothing — this implements
+    the paper's MLM objective where only masked tokens are scored (Eq. 1).
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    flat_logits = logits.reshape(-1, logits.shape[-1])
+    flat_labels = labels.reshape(-1)
+    keep = flat_labels != ignore_index
+    n_kept = int(keep.sum())
+    if n_kept == 0:
+        return Tensor(0.0)
+    log_probs = log_softmax(flat_logits, axis=-1)
+    rows = np.nonzero(keep)[0]
+    picked = log_probs[rows, flat_labels[rows]]
+    return -picked.sum() * (1.0 / n_kept)
+
+
+def mse_loss(predictions: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean squared error over all elements."""
+    diff = predictions - Tensor(np.asarray(targets, dtype=np.float64))
+    return (diff * diff).mean()
+
+
+def bce_with_logits_loss(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Numerically-stable mean binary cross-entropy with logits.
+
+    Uses ``max(x, 0) - x*y + log(1 + exp(-|x|))``, evaluated with Tensor ops
+    so gradients flow; targets are float arrays of the same shape.
+    """
+    y = np.asarray(targets, dtype=np.float64)
+    x = logits
+    # |x| built differentiably as relu(x) + relu(-x).
+    abs_x = x.relu() + (-x).relu()
+    softplus = (Tensor(np.ones_like(x.data)) + (-abs_x).exp()).log()
+    loss = x.relu() - x * Tensor(y) + softplus
+    return loss.mean()

@@ -1,0 +1,24 @@
+"""Checkpointing: save/load a module's ``state_dict`` as ``.npz``."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+
+def save_state_dict(module: Module, path: str | os.PathLike) -> None:
+    """Write all parameters to a compressed ``.npz`` archive."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(p, **module.state_dict())
+
+
+def load_state_dict(module: Module, path: str | os.PathLike, strict: bool = True) -> None:
+    """Load parameters saved by :func:`save_state_dict` into ``module``."""
+    with np.load(Path(path)) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state, strict=strict)

@@ -1,0 +1,23 @@
+"""Search substrate: nearest-neighbour indexes, the Figure-6 table ranking
+algorithm, and retrieval metrics (mean F1 / P@k / R@k, F1-vs-k curves)."""
+
+from repro.search.hnsw import HnswIndex
+from repro.search.index import KnnIndex
+from repro.search.tables import ColumnEntry, TableSearcher
+from repro.search.metrics import (
+    SearchResult,
+    evaluate_search,
+    f1_at_k,
+    precision_recall_at_k,
+)
+
+__all__ = [
+    "HnswIndex",
+    "KnnIndex",
+    "ColumnEntry",
+    "TableSearcher",
+    "SearchResult",
+    "evaluate_search",
+    "f1_at_k",
+    "precision_recall_at_k",
+]

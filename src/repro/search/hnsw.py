@@ -1,0 +1,190 @@
+"""HNSW: hierarchical navigable small world graphs for approximate KNN.
+
+DeepJoin (Dong et al., VLDB 2023) indexes its column embeddings with HNSW
+(Malkov & Yashunin, TPAMI 2020). This is a from-scratch implementation of
+the algorithm's core: a layered proximity graph where each node appears in
+level 0 and, with geometrically decaying probability, in higher levels;
+search greedily descends from the top layer and runs best-first beam search
+(``ef``) at level 0.
+
+At reproduction scale an exact index is faster, so the library defaults to
+:class:`repro.search.index.KnnIndex`; this class exists because the paper's
+baseline names the structure, and the recall/efficiency trade-off is itself
+benchmarkable (see ``tests/search/test_hnsw.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+
+from repro.utils.rng import spawn_rng
+
+
+class HnswIndex:
+    """Approximate nearest-neighbour search over dense vectors.
+
+    Parameters follow the paper's notation: ``m`` is the maximum degree per
+    node and layer, ``ef_construction`` the beam width while inserting,
+    ``ef_search`` the default beam width while querying.
+    """
+
+    def __init__(self, dim: int, m: int = 8, ef_construction: int = 32,
+                 ef_search: int = 24, seed: int = 11):
+        self.dim = dim
+        self.m = m
+        self.ef_construction = ef_construction
+        self.ef_search = ef_search
+        self._rng = spawn_rng(seed, "hnsw")
+        self._level_scale = 1.0 / math.log(m)
+        self._keys: list = []
+        self._vectors: list[np.ndarray] = []
+        #: per node: list of neighbour-id lists, one per level (0..node_level)
+        self._graph: list[list[list[int]]] = []
+        self._entry: int | None = None
+        self._max_level = -1
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    # ------------------------------------------------------------------ #
+    def _distance(self, a: int, query: np.ndarray) -> float:
+        return float(np.linalg.norm(self._vectors[a] - query))
+
+    def _random_level(self) -> int:
+        return int(-math.log(max(self._rng.random(), 1e-12)) * self._level_scale)
+
+    def _greedy_descend(self, query: np.ndarray, start: int, level: int) -> int:
+        """Follow the closest-neighbour chain on one level."""
+        current = start
+        current_dist = self._distance(current, query)
+        improved = True
+        while improved:
+            improved = False
+            for neighbour in self._graph[current][level]:
+                d = self._distance(neighbour, query)
+                if d < current_dist:
+                    current, current_dist = neighbour, d
+                    improved = True
+        return current
+
+    def _search_level(self, query: np.ndarray, entry: int, ef: int,
+                      level: int) -> list[tuple[float, int]]:
+        """Best-first beam search; returns (distance, node) sorted ascending."""
+        visited = {entry}
+        entry_dist = self._distance(entry, query)
+        candidates = [(entry_dist, entry)]           # min-heap
+        best: list[tuple[float, int]] = [(-entry_dist, entry)]  # max-heap
+        while candidates:
+            dist, node = heapq.heappop(candidates)
+            if dist > -best[0][0] and len(best) >= ef:
+                break
+            for neighbour in self._graph[node][level]:
+                if neighbour in visited:
+                    continue
+                visited.add(neighbour)
+                d = self._distance(neighbour, query)
+                if len(best) < ef or d < -best[0][0]:
+                    heapq.heappush(candidates, (d, neighbour))
+                    heapq.heappush(best, (-d, neighbour))
+                    if len(best) > ef:
+                        heapq.heappop(best)
+        return sorted((-d, n) for d, n in best)
+
+    def _select_neighbours(self, base: np.ndarray,
+                           candidates: list[tuple[float, int]]) -> list[int]:
+        """Malkov's neighbour-selection heuristic.
+
+        Walk candidates by increasing distance to ``base`` and keep one only
+        if it is closer to ``base`` than to every neighbour already kept.
+        Without this, clustered data prunes away all long-range links and
+        recall collapses across clusters (the known failure of naive
+        closest-m selection).
+        """
+        kept: list[int] = []
+        for dist, node in sorted(candidates):
+            if len(kept) >= self.m:
+                break
+            ok = True
+            for other in kept:
+                if (
+                    float(np.linalg.norm(self._vectors[node] - self._vectors[other]))
+                    < dist
+                ):
+                    ok = False
+                    break
+            if ok:
+                kept.append(node)
+        # Backfill with the closest skipped candidates if under-full.
+        if len(kept) < self.m:
+            for _, node in sorted(candidates):
+                if node not in kept:
+                    kept.append(node)
+                if len(kept) >= self.m:
+                    break
+        return kept
+
+    # ------------------------------------------------------------------ #
+    def insert(self, key, vector: np.ndarray) -> None:
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.dim,):
+            raise ValueError(f"expected dim {self.dim}, got {vector.shape}")
+        node = len(self._keys)
+        level = self._random_level()
+        self._keys.append(key)
+        self._vectors.append(vector)
+        self._graph.append([[] for _ in range(level + 1)])
+
+        if self._entry is None:
+            self._entry = node
+            self._max_level = level
+            return
+
+        entry = self._entry
+        # Descend levels above the new node's level greedily.
+        for lvl in range(self._max_level, level, -1):
+            if lvl < len(self._graph[entry]):
+                entry = self._greedy_descend(vector, entry, lvl)
+        # Connect on each shared level.
+        for lvl in range(min(level, self._max_level), -1, -1):
+            found = self._search_level(vector, entry, self.ef_construction, lvl)
+            neighbours = self._select_neighbours(vector, found)
+            self._graph[node][lvl] = list(neighbours)
+            for neighbour in neighbours:
+                links = self._graph[neighbour][lvl]
+                links.append(node)
+                if len(links) > self.m:
+                    # Re-prune with the same diversity heuristic.
+                    scored = [
+                        (
+                            float(
+                                np.linalg.norm(
+                                    self._vectors[neighbour] - self._vectors[other]
+                                )
+                            ),
+                            other,
+                        )
+                        for other in links
+                    ]
+                    self._graph[neighbour][lvl] = self._select_neighbours(
+                        self._vectors[neighbour], scored
+                    )
+            entry = found[0][1] if found else entry
+        if level > self._max_level:
+            self._max_level = level
+            self._entry = node
+
+    def query(self, vector: np.ndarray, k: int, ef: int | None = None) -> list[tuple[object, float]]:
+        """Top-``k`` (key, distance) pairs, approximately nearest first."""
+        if self._entry is None:
+            return []
+        vector = np.asarray(vector, dtype=np.float64)
+        ef = max(ef or self.ef_search, k)
+        entry = self._entry
+        for lvl in range(self._max_level, 0, -1):
+            if lvl < len(self._graph[entry]):
+                entry = self._greedy_descend(vector, entry, lvl)
+        found = self._search_level(vector, entry, ef, 0)
+        return [(self._keys[node], dist) for dist, node in found[:k]]

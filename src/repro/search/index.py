@@ -1,0 +1,62 @@
+"""Exact k-nearest-neighbour index over dense vectors.
+
+The paper indexes table/column embeddings and retrieves nearest neighbours
+("we recommend indexing the datalake offline and at query time only compute
+embeddings for the query table"). At reproduction scale an exact vectorized
+index is both faster and noise-free; the LSH structures used by specific
+baselines live in :mod:`repro.sketch.lsh` / :mod:`repro.sketch.simhash`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class KnnIndex:
+    """Brute-force KNN with cosine or euclidean distance."""
+
+    def __init__(self, dim: int, metric: str = "cosine"):
+        if metric not in ("cosine", "euclidean"):
+            raise ValueError(f"unknown metric {metric!r}")
+        self.dim = dim
+        self.metric = metric
+        self._keys: list = []
+        self._vectors: list[np.ndarray] = []
+        self._matrix: np.ndarray | None = None
+
+    def add(self, key, vector: np.ndarray) -> None:
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.dim,):
+            raise ValueError(f"expected dim {self.dim}, got {vector.shape}")
+        self._keys.append(key)
+        self._vectors.append(vector)
+        self._matrix = None
+
+    def add_many(self, items: list[tuple[object, np.ndarray]]) -> None:
+        for key, vector in items:
+            self.add(key, vector)
+
+    def _ensure_matrix(self) -> np.ndarray:
+        if self._matrix is None:
+            self._matrix = np.stack(self._vectors) if self._vectors else np.zeros((0, self.dim))
+        return self._matrix
+
+    def query(self, vector: np.ndarray, k: int) -> list[tuple[object, float]]:
+        """Top-``k`` (key, distance) pairs, ascending by distance."""
+        matrix = self._ensure_matrix()
+        if matrix.shape[0] == 0:
+            return []
+        vector = np.asarray(vector, dtype=np.float64)
+        if self.metric == "cosine":
+            norms = np.linalg.norm(matrix, axis=1) * (np.linalg.norm(vector) + 1e-12)
+            norms = np.where(norms == 0.0, 1e-12, norms)
+            distances = 1.0 - (matrix @ vector) / norms
+        else:
+            distances = np.linalg.norm(matrix - vector[None, :], axis=1)
+        k = min(k, matrix.shape[0])
+        top = np.argpartition(distances, k - 1)[:k]
+        top = top[np.argsort(distances[top])]
+        return [(self._keys[i], float(distances[i])) for i in top]
+
+    def __len__(self) -> int:
+        return len(self._keys)

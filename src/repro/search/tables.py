@@ -1,0 +1,114 @@
+"""The paper's table-ranking algorithm over column embeddings (Fig. 6).
+
+Definitions (verbatim from the figure, adapted to code):
+
+- ``KNNSEARCH(c, k)`` — the ``k * 3`` nearest columns of column ``c``
+  ("we try to get a lot more columns than k ... because multiple columns
+  from a single table might match a given column").
+- ``COLUMNNEARTABLES(c, k)`` — for each table appearing among those
+  columns, the distance of its *closest* matching column.
+- ``NEARTABLES(t, k)`` — the union of ``COLUMNNEARTABLES`` over all of
+  ``t``'s columns, gathering per-table matched-column lists.
+- ``RANK1`` — prefer tables matching the *largest number* of query columns;
+- ``RANK2`` — tie-break by the *smallest sum* of column distances.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.search.index import KnnIndex
+
+
+@dataclass(frozen=True)
+class ColumnEntry:
+    """Identifies one indexed column."""
+
+    table: str
+    column: str
+
+
+class TableSearcher:
+    """Column-embedding index + the Fig. 6 ranking procedure."""
+
+    def __init__(self, dim: int, metric: str = "cosine", candidate_factor: int = 3):
+        self.index = KnnIndex(dim, metric=metric)
+        self.candidate_factor = candidate_factor
+        self._columns_by_table: dict[str, list[tuple[ColumnEntry, np.ndarray]]] = (
+            defaultdict(list)
+        )
+
+    # ------------------------------------------------------------------ #
+    def add_column(self, table: str, column: str, vector: np.ndarray) -> None:
+        entry = ColumnEntry(table, column)
+        self.index.add(entry, vector)
+        self._columns_by_table[table].append((entry, np.asarray(vector, dtype=np.float64)))
+
+    def add_table(self, table: str, column_names: list[str], vectors: np.ndarray) -> None:
+        for name, vector in zip(column_names, vectors):
+            self.add_column(table, name, vector)
+
+    # ------------------------------------------------------------------ #
+    def knn_columns(
+        self, vector: np.ndarray, k: int, exclude_table: str | None = None
+    ) -> list[tuple[ColumnEntry, float]]:
+        """KNNSEARCH: the ``k * candidate_factor`` nearest columns."""
+        want = k * self.candidate_factor
+        # Over-fetch to survive the exclude filter.
+        raw = self.index.query(vector, want + (len(self._columns_by_table[exclude_table]) if exclude_table else 0))
+        out = [
+            (entry, distance)
+            for entry, distance in raw
+            if exclude_table is None or entry.table != exclude_table
+        ]
+        return out[:want]
+
+    def column_near_tables(
+        self, vector: np.ndarray, k: int, exclude_table: str | None = None
+    ) -> dict[str, float]:
+        """COLUMNNEARTABLES: table -> distance of its closest column."""
+        nearest: dict[str, float] = {}
+        for entry, distance in self.knn_columns(vector, k, exclude_table):
+            if entry.table not in nearest or distance < nearest[entry.table]:
+                nearest[entry.table] = distance
+        return nearest
+
+    def near_tables(
+        self,
+        query_vectors: np.ndarray,
+        k: int,
+        exclude_table: str | None = None,
+    ) -> list[tuple[str, int, float]]:
+        """NEARTABLES + RANK1/RANK2 over a query table's column vectors.
+
+        Returns ``(table, n_matched_columns, distance_sum)`` sorted by the
+        paper's two-stage rank: most matched columns first, then smallest
+        summed distance.
+        """
+        matches: dict[str, list[float]] = defaultdict(list)
+        for vector in np.atleast_2d(query_vectors):
+            for table, distance in self.column_near_tables(vector, k, exclude_table).items():
+                matches[table].append(distance)
+        ranked = [
+            (table, len(distances), float(sum(distances)))
+            for table, distances in matches.items()
+        ]
+        ranked.sort(key=lambda item: (-item[1], item[2]))
+        return ranked
+
+    def search_tables(
+        self, query_vectors: np.ndarray, k: int, exclude_table: str | None = None
+    ) -> list[str]:
+        """Top-``k`` table names under the Fig. 6 ranking."""
+        return [t for t, _, _ in self.near_tables(query_vectors, k, exclude_table)][:k]
+
+    def search_by_column(
+        self, query_vector: np.ndarray, k: int, exclude_table: str | None = None
+    ) -> list[str]:
+        """Join-style search: rank tables by their closest single column."""
+        nearest = self.column_near_tables(query_vector, k, exclude_table)
+        ranked = sorted(nearest.items(), key=lambda item: item[1])
+        return [table for table, _ in ranked[:k]]

@@ -1,0 +1,144 @@
+"""Assemble all of a table's sketches into the model's raw input (§III-A).
+
+For every table we produce a :class:`TableSketch`:
+
+- one table-level **content snapshot** (MinHash over the first 10k rows);
+- per column, a :class:`ColumnSketch` holding
+  - the **cell-values MinHash** (all columns),
+  - the **words MinHash** (string columns only; empty signature otherwise),
+  - the **numerical sketch** vector,
+  - the inferred column type.
+
+The model input layer consumes the *normalized* forms: MinHash signatures
+scaled to [0, 1] and the normalized numerical-statistics vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sketch.content import CONTENT_SNAPSHOT_ROWS, content_snapshot
+from repro.sketch.minhash import DEFAULT_NUM_PERM, MinHash, MinHasher
+from repro.sketch.numeric import NumericalSketch, numerical_sketch
+from repro.table.schema import Column, ColumnType, Table
+
+
+@dataclass(frozen=True)
+class SketchConfig:
+    """Knobs for sketch construction.
+
+    ``num_perm`` is the MinHash signature width; ``snapshot_rows`` bounds the
+    content snapshot. ``seed`` fixes the hash family — every sketch that will
+    ever be compared must share it.
+    """
+
+    num_perm: int = DEFAULT_NUM_PERM
+    snapshot_rows: int = CONTENT_SNAPSHOT_ROWS
+    seed: int = 1
+
+    def build_hasher(self) -> MinHasher:
+        return MinHasher(num_perm=self.num_perm, seed=self.seed)
+
+
+@dataclass(frozen=True)
+class ColumnSketch:
+    """All sketches of one column."""
+
+    name: str
+    ctype: ColumnType
+    values_minhash: MinHash
+    words_minhash: MinHash  # empty signature for non-string columns
+    numeric: NumericalSketch
+    n_values: int  # distinct non-null count, for containment estimation
+
+    def minhash_vector(self, num_perm: int) -> np.ndarray:
+        """The concatenated [values ‖ words] MinHash model input.
+
+        For string columns both halves are populated (E_{C||W} in Fig. 1);
+        for numeric/date columns the words half is zero (E_C only).
+
+        Slots pass through :func:`repro.sketch.minhash.slot_features`: a
+        bijective per-slot re-randomization into uniform [-1, 1] features
+        whose dot products are proportional to slot agreement (raw minima
+        share a huge common mode that linear projections cannot separate).
+        Absent halves stay 0 (the neutral value).
+        """
+        from repro.sketch.minhash import slot_features
+
+        vec = np.zeros(2 * num_perm, dtype=np.float64)
+        vec[:num_perm] = slot_features(self.values_minhash)
+        if self.ctype == ColumnType.STRING and not self.words_minhash.is_empty():
+            vec[num_perm:] = slot_features(self.words_minhash)
+        return vec
+
+
+@dataclass(frozen=True)
+class TableSketch:
+    """All sketches of one table, plus identifying metadata."""
+
+    table_name: str
+    description: str
+    column_sketches: list[ColumnSketch]
+    snapshot: MinHash
+    config: SketchConfig = field(default=SketchConfig())
+
+    @property
+    def n_cols(self) -> int:
+        return len(self.column_sketches)
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.column_sketches]
+
+    def snapshot_vector(self) -> np.ndarray:
+        """Content-snapshot model input (E_CS in Fig. 1), zero-padded to the
+        same 2*num_perm width as column MinHash vectors and slot-decorrelated
+        like them (see :meth:`ColumnSketch.minhash_vector`)."""
+        from repro.sketch.minhash import slot_features
+
+        vec = np.zeros(2 * self.config.num_perm, dtype=np.float64)
+        vec[: self.config.num_perm] = slot_features(self.snapshot)
+        return vec
+
+
+def sketch_column(column: Column, hasher: MinHasher) -> ColumnSketch:
+    """Sketch one column: values MinHash, words MinHash, numerical sketch."""
+    non_null = column.non_null_values()
+    values_mh = hasher.sketch(non_null)
+    if column.inferred_type == ColumnType.STRING:
+        words_mh = hasher.sketch_tokens(non_null)
+    else:
+        words_mh = hasher.sketch(())
+    return ColumnSketch(
+        name=column.name,
+        ctype=column.inferred_type,
+        values_minhash=values_mh,
+        words_minhash=words_mh,
+        numeric=numerical_sketch(column),
+        n_values=len(set(non_null)),
+    )
+
+
+def sketch_table(
+    table: Table,
+    config: SketchConfig | None = None,
+    hasher: MinHasher | None = None,
+) -> TableSketch:
+    """Produce the full :class:`TableSketch` for ``table``.
+
+    Passing a pre-built ``hasher`` avoids recreating the hash family per
+    table when sketching a whole corpus.
+    """
+    config = config or SketchConfig()
+    hasher = hasher or config.build_hasher()
+    if hasher.num_perm != config.num_perm:
+        raise ValueError("hasher num_perm does not match config.num_perm")
+    return TableSketch(
+        table_name=table.name,
+        description=table.description,
+        column_sketches=[sketch_column(c, hasher) for c in table.columns],
+        snapshot=content_snapshot(table, hasher, limit=config.snapshot_rows),
+        config=config,
+    )

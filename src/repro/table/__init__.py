@@ -1,0 +1,45 @@
+"""Table substrate: in-memory tables, type inference, CSV I/O, transforms.
+
+The paper operates on data-lake CSV tables. This package provides the
+in-memory representation used everywhere else in the library:
+
+- :class:`~repro.table.schema.Table` / :class:`~repro.table.schema.Column`
+  hold values as lists of strings (cells are untyped text, as in a CSV) plus
+  an inferred :class:`~repro.table.schema.ColumnType`.
+- :mod:`repro.table.infer` implements the paper's best-effort typing rule
+  (parse the first 10 values as date/int/float, default to string; §III-B.4).
+- :mod:`repro.table.csvio` reads and writes CSV files without pandas.
+- :mod:`repro.table.transform` implements the row/column sampling and
+  shuffling operations used for pre-training augmentation (§III-C) and the
+  Eurostat subset-search variants (§IV-C3, Fig. 7).
+"""
+
+from repro.table.schema import Column, ColumnType, Table
+from repro.table.infer import infer_column_type, parse_date, to_float
+from repro.table.csvio import read_csv, read_csv_text, write_csv
+from repro.table.transform import (
+    project_columns,
+    sample_columns,
+    sample_rows,
+    shuffle_columns,
+    shuffle_rows,
+    subset_variants,
+)
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Table",
+    "infer_column_type",
+    "parse_date",
+    "to_float",
+    "read_csv",
+    "read_csv_text",
+    "write_csv",
+    "project_columns",
+    "sample_columns",
+    "sample_rows",
+    "shuffle_columns",
+    "shuffle_rows",
+    "subset_variants",
+]

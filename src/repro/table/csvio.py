@@ -1,0 +1,48 @@
+"""CSV reading/writing for lake tables (stdlib ``csv``, no pandas)."""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from pathlib import Path
+
+from repro.table.schema import Table, table_from_rows
+
+
+def read_csv_text(text: str, name: str = "table", description: str = "") -> Table:
+    """Parse CSV text (first row is the header) into a :class:`Table`.
+
+    Short rows are right-padded with empty cells and long rows truncated, as
+    real lake CSVs are frequently ragged.
+    """
+    reader = csv.reader(io.StringIO(text))
+    rows = list(reader)
+    if not rows:
+        return Table(name=name, columns=[], description=description)
+    header = [h.strip() for h in rows[0]]
+    width = len(header)
+    body = []
+    for row in rows[1:]:
+        if len(row) < width:
+            row = row + [""] * (width - len(row))
+        body.append(row[:width])
+    return table_from_rows(name, header, body, description=description)
+
+
+def read_csv(path: str | os.PathLike, description: str = "") -> Table:
+    """Read a CSV file into a :class:`Table`; the stem becomes the name."""
+    p = Path(path)
+    with open(p, "r", encoding="utf-8", newline="") as handle:
+        return read_csv_text(handle.read(), name=p.stem, description=description)
+
+
+def write_csv(table: Table, path: str | os.PathLike) -> None:
+    """Write a :class:`Table` to a CSV file with a header row."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with open(p, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.header)
+        for row in table.rows():
+            writer.writerow(row)

@@ -1,0 +1,90 @@
+"""Table transforms: sampling, shuffling, projection.
+
+Used in two places in the paper:
+
+- §III-C data augmentation: three column-order permutations per pre-training
+  table ("we created three different versions of the table, by changing the
+  column order").
+- §IV-C3 / Fig. 7 Eurostat subset search: 11 variants per query table built
+  from 25/50/75/100% row/column samples plus full-size row and column
+  shuffles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.table.schema import Column, Table
+
+
+def project_columns(table: Table, indices: list[int], name: str | None = None) -> Table:
+    """Keep columns at ``indices`` (in the given order)."""
+    cols = [table.columns[i] for i in indices]
+    return table.with_columns(cols, name=name)
+
+
+def sample_rows(table: Table, fraction: float, rng: np.random.Generator, name: str | None = None) -> Table:
+    """Uniformly sample ``fraction`` of rows, preserving the original order."""
+    n = table.n_rows
+    keep = max(1, int(round(n * fraction))) if n else 0
+    idx = np.sort(rng.choice(n, size=keep, replace=False)) if n else np.array([], int)
+    cols = [Column(c.name, [c.values[i] for i in idx], c.ctype) for c in table.columns]
+    return table.with_columns(cols, name=name)
+
+
+def sample_columns(table: Table, fraction: float, rng: np.random.Generator, name: str | None = None) -> Table:
+    """Uniformly sample ``fraction`` of columns, preserving order."""
+    n = table.n_cols
+    keep = max(1, int(round(n * fraction))) if n else 0
+    idx = np.sort(rng.choice(n, size=keep, replace=False)) if n else np.array([], int)
+    return project_columns(table, [int(i) for i in idx], name=name)
+
+
+def shuffle_rows(table: Table, rng: np.random.Generator, name: str | None = None) -> Table:
+    """Permute row order (table semantics must be invariant to this)."""
+    perm = rng.permutation(table.n_rows)
+    cols = [Column(c.name, [c.values[i] for i in perm], c.ctype) for c in table.columns]
+    return table.with_columns(cols, name=name)
+
+
+def shuffle_columns(table: Table, rng: np.random.Generator, name: str | None = None) -> Table:
+    """Permute column order (ditto; see the augmentation rationale in §III-C)."""
+    perm = [int(i) for i in rng.permutation(table.n_cols)]
+    return project_columns(table, perm, name=name)
+
+
+#: The Eurostat subset protocol of Fig. 7: (row fraction, column fraction)
+#: pairs, followed by the two full-size shuffle variants.
+SUBSET_GRID: tuple[tuple[float, float], ...] = (
+    (0.25, 1.0),
+    (0.50, 1.0),
+    (0.75, 1.0),
+    (1.0, 0.25),
+    (1.0, 0.50),
+    (1.0, 0.75),
+    (0.25, 0.25),
+    (0.50, 0.50),
+    (0.75, 0.75),
+)
+
+
+def subset_variants(table: Table, rng: np.random.Generator) -> list[tuple[str, Table]]:
+    """Generate the paper's 11 subset variants of ``table`` (Fig. 7).
+
+    Returns ``(variant_tag, table)`` pairs. Tags are stable identifiers like
+    ``"r25_c100"``, ``"shuffle_rows"``, ``"shuffle_cols"``.
+    """
+    variants: list[tuple[str, Table]] = []
+    for row_frac, col_frac in SUBSET_GRID:
+        tag = f"r{int(row_frac * 100)}_c{int(col_frac * 100)}"
+        variant = table
+        if col_frac < 1.0:
+            variant = sample_columns(variant, col_frac, rng)
+        if row_frac < 1.0:
+            variant = sample_rows(variant, row_frac, rng)
+        variants.append((tag, variant.with_columns(variant.columns, name=f"{table.name}__{tag}")))
+    shuffled_rows = shuffle_rows(table, rng, name=f"{table.name}__shuffle_rows")
+    shuffled_cols = shuffle_columns(table, rng, name=f"{table.name}__shuffle_cols")
+    variants.append(("shuffle_rows", shuffled_rows))
+    variants.append(("shuffle_cols", shuffled_cols))
+    return variants

@@ -1,0 +1,23 @@
+"""Text substrate: tokenizer and frozen sentence embeddings.
+
+- :mod:`repro.text.tokenizer` — a WordPiece-style sub-word tokenizer with a
+  vocabulary trained from a corpus; replaces BERT's 30k-token vocabulary at a
+  scale the synthetic lake needs (~2-4k tokens). Special tokens follow BERT:
+  ``[PAD] [UNK] [CLS] [SEP] [MASK]``.
+- :mod:`repro.text.sbert` — :class:`~repro.text.sbert.HashedSentenceEncoder`,
+  the deterministic stand-in for SBERT ``all-MiniLM-L12-v2`` (and FastText in
+  the DeepJoin/WarpGate baselines). It embeds text via feature-hashed words +
+  character n-grams with IDF-style weighting, so lexically/semantically
+  similar value sets land near each other without any training.
+"""
+
+from repro.text.tokenizer import SPECIAL_TOKENS, Vocabulary, WordPieceTokenizer
+from repro.text.sbert import HashedSentenceEncoder, column_sentence
+
+__all__ = [
+    "SPECIAL_TOKENS",
+    "Vocabulary",
+    "WordPieceTokenizer",
+    "HashedSentenceEncoder",
+    "column_sentence",
+]

@@ -1,0 +1,207 @@
+"""WordPiece-style tokenizer.
+
+BERT tokenizes text into sub-words using a greedy longest-match-first
+algorithm over a learned vocabulary, with non-initial pieces prefixed by
+``##``. We reproduce that algorithm and train the vocabulary directly from
+the synthetic corpus with the standard frequency-driven WordPiece induction
+(start from characters, iteratively add the most frequent merges).
+
+The paper feeds the model a lower-cased "input string" of table metadata and
+column names joined by ``[SEP]``; this tokenizer provides exactly the pieces
+needed for that input layer plus whole-column masking (every token of a
+column name is maskable as a unit).
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+PAD_TOKEN = "[PAD]"
+UNK_TOKEN = "[UNK]"
+CLS_TOKEN = "[CLS]"
+SEP_TOKEN = "[SEP]"
+MASK_TOKEN = "[MASK]"
+
+SPECIAL_TOKENS = (PAD_TOKEN, UNK_TOKEN, CLS_TOKEN, SEP_TOKEN, MASK_TOKEN)
+
+_WORD_RE = re.compile(r"[a-z0-9]+|[^\sa-z0-9]")
+
+
+def basic_tokenize(text: str) -> list[str]:
+    """Lower-case and split into words / punctuation marks (BERT 'uncased')."""
+    return _WORD_RE.findall(text.lower())
+
+
+@dataclass
+class Vocabulary:
+    """Token <-> id mapping with BERT's special tokens at fixed low ids."""
+
+    tokens: list[str] = field(default_factory=lambda: list(SPECIAL_TOKENS))
+
+    def __post_init__(self) -> None:
+        for i, special in enumerate(SPECIAL_TOKENS):
+            if self.tokens[i] != special:
+                raise ValueError(
+                    f"vocabulary must start with {SPECIAL_TOKENS}, got {self.tokens[:5]}"
+                )
+        self._ids = {tok: i for i, tok in enumerate(self.tokens)}
+        if len(self._ids) != len(self.tokens):
+            raise ValueError("duplicate tokens in vocabulary")
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._ids
+
+    def id_of(self, token: str) -> int:
+        return self._ids.get(token, self._ids[UNK_TOKEN])
+
+    def token_of(self, index: int) -> str:
+        return self.tokens[index]
+
+    @property
+    def pad_id(self) -> int:
+        return self._ids[PAD_TOKEN]
+
+    @property
+    def unk_id(self) -> int:
+        return self._ids[UNK_TOKEN]
+
+    @property
+    def cls_id(self) -> int:
+        return self._ids[CLS_TOKEN]
+
+    @property
+    def sep_id(self) -> int:
+        return self._ids[SEP_TOKEN]
+
+    @property
+    def mask_id(self) -> int:
+        return self._ids[MASK_TOKEN]
+
+
+def train_vocabulary(
+    texts: Iterable[str],
+    vocab_size: int = 4096,
+    min_frequency: int = 2,
+) -> Vocabulary:
+    """Induce a WordPiece vocabulary from raw texts.
+
+    Algorithm: collect word frequencies; seed the vocabulary with all single
+    characters (plus their ``##`` continuations); then repeatedly add the most
+    frequent adjacent-piece merge until ``vocab_size`` is reached. This is the
+    BPE-style induction that WordPiece training reduces to when likelihood is
+    approximated by frequency.
+    """
+    word_counts: Counter[str] = Counter()
+    for text in texts:
+        word_counts.update(basic_tokenize(text))
+
+    # Words as piece sequences: first char bare, the rest ## continuations.
+    splits: dict[str, list[str]] = {
+        word: [word[0]] + [f"##{c}" for c in word[1:]]
+        for word in word_counts
+        if word
+    }
+
+    vocab: list[str] = list(SPECIAL_TOKENS)
+    seen = set(vocab)
+    for pieces in splits.values():
+        for piece in pieces:
+            if piece not in seen:
+                seen.add(piece)
+                vocab.append(piece)
+
+    def merge_counts() -> Counter[tuple[str, str]]:
+        counts: Counter[tuple[str, str]] = Counter()
+        for word, pieces in splits.items():
+            frequency = word_counts[word]
+            for a, b in zip(pieces, pieces[1:]):
+                counts[(a, b)] += frequency
+        return counts
+
+    while len(vocab) < vocab_size:
+        counts = merge_counts()
+        if not counts:
+            break
+        (left, right), best_count = counts.most_common(1)[0]
+        if best_count < min_frequency:
+            break
+        merged = left + right[2:] if right.startswith("##") else left + right
+        for word, pieces in splits.items():
+            out: list[str] = []
+            i = 0
+            while i < len(pieces):
+                if i + 1 < len(pieces) and pieces[i] == left and pieces[i + 1] == right:
+                    out.append(merged)
+                    i += 2
+                else:
+                    out.append(pieces[i])
+                    i += 1
+            splits[word] = out
+        if merged not in seen:
+            seen.add(merged)
+            vocab.append(merged)
+
+    return Vocabulary(vocab[:max(vocab_size, len(SPECIAL_TOKENS))])
+
+
+class WordPieceTokenizer:
+    """Greedy longest-match-first WordPiece tokenization (BERT's algorithm)."""
+
+    def __init__(self, vocabulary: Vocabulary, max_word_chars: int = 64):
+        self.vocabulary = vocabulary
+        self.max_word_chars = max_word_chars
+
+    @classmethod
+    def train(cls, texts: Iterable[str], vocab_size: int = 4096,
+              min_frequency: int = 2) -> "WordPieceTokenizer":
+        return cls(train_vocabulary(texts, vocab_size, min_frequency))
+
+    def tokenize_word(self, word: str) -> list[str]:
+        """Sub-word pieces for one word, or ``[UNK]`` when not coverable."""
+        if len(word) > self.max_word_chars:
+            return [UNK_TOKEN]
+        pieces: list[str] = []
+        start = 0
+        while start < len(word):
+            end = len(word)
+            piece = None
+            while start < end:
+                candidate = word[start:end]
+                if start > 0:
+                    candidate = f"##{candidate}"
+                if candidate in self.vocabulary:
+                    piece = candidate
+                    break
+                end -= 1
+            if piece is None:
+                return [UNK_TOKEN]
+            pieces.append(piece)
+            start = end
+        return pieces
+
+    def tokenize(self, text: str) -> list[str]:
+        out: list[str] = []
+        for word in basic_tokenize(text):
+            out.extend(self.tokenize_word(word))
+        return out
+
+    def encode(self, text: str) -> list[int]:
+        return [self.vocabulary.id_of(t) for t in self.tokenize(text)]
+
+    def decode(self, ids: Sequence[int]) -> str:
+        words: list[str] = []
+        for index in ids:
+            token = self.vocabulary.token_of(int(index))
+            if token in SPECIAL_TOKENS:
+                continue
+            if token.startswith("##") and words:
+                words[-1] += token[2:]
+            else:
+                words.append(token)
+        return " ".join(words)

@@ -1,0 +1,52 @@
+"""Stable 64-bit string hashing.
+
+Python's built-in ``hash`` is salted per process (PYTHONHASHSEED), which would
+make MinHash sketches non-reproducible between runs. We therefore implement a
+fixed FNV-1a 64-bit hash over UTF-8 bytes, plus helpers to hash batches of
+strings into numpy arrays. All sketching code routes through these functions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+# Mersenne prime 2^61 - 1: the classic modulus for universal hashing.  Using a
+# prime modulus keeps (a * x + b) % p a proper universal hash family.
+HASH_PRIME = (1 << 61) - 1
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+
+
+def hash_bytes(data: bytes) -> int:
+    """FNV-1a 64-bit hash of ``data``; stable across processes and platforms."""
+    h = _FNV_OFFSET
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV_PRIME) & _MASK64
+    return h
+
+
+def hash_string(text: str) -> int:
+    """Stable 64-bit hash of a unicode string."""
+    return hash_bytes(text.encode("utf-8"))
+
+
+def hash_strings(texts: Iterable[str]) -> np.ndarray:
+    """Hash a batch of strings into a uint64 array (one hash per string)."""
+    return np.fromiter(
+        (hash_string(t) for t in texts), dtype=np.uint64, count=-1
+    )
+
+
+def combine_hashes(hashes: Sequence[int]) -> int:
+    """Order-sensitive combination of multiple hashes into one 64-bit value."""
+    h = _FNV_OFFSET
+    for value in hashes:
+        for shift in (0, 16, 32, 48):
+            h ^= (value >> shift) & 0xFFFF
+            h = (h * _FNV_PRIME) & _MASK64
+    return h

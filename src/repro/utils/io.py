@@ -1,0 +1,40 @@
+"""Small I/O helpers used by benches and checkpointing."""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+
+def ensure_dir(path: str | os.PathLike) -> Path:
+    """Create ``path`` (and parents) if missing; return it as a ``Path``."""
+    p = Path(path)
+    p.mkdir(parents=True, exist_ok=True)
+    return p
+
+
+def write_json(path: str | os.PathLike, payload: Any) -> None:
+    """Write ``payload`` as pretty JSON, creating parent directories."""
+    p = Path(path)
+    ensure_dir(p.parent)
+    with open(p, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=_jsonify)
+        handle.write("\n")
+
+
+def read_json(path: str | os.PathLike) -> Any:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _jsonify(obj: Any) -> Any:
+    """Fallback encoder: numpy scalars/arrays to plain Python."""
+    import numpy as np
+
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, np.generic):
+        return obj.item()
+    raise TypeError(f"not JSON serializable: {type(obj)!r}")

@@ -1,0 +1,36 @@
+"""DeepJoin with its paper-native HNSW index."""
+
+import pytest
+
+from repro.baselines.deepjoin import DeepJoinSearcher
+from repro.lakebench.base import SearchQuery
+from repro.table.schema import table_from_rows
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    shared = [f"city{i}" for i in range(20)]
+
+    def make(name, values):
+        return table_from_rows(
+            name, ["place", "pop"], [[v, str(100 + i)] for i, v in enumerate(values)]
+        )
+
+    return {
+        "q": make("q", shared),
+        "match": make("match", shared[:18] + ["x1", "x2"]),
+        "other": make("other", [f"prod{i}" for i in range(20)]),
+    }
+
+
+def test_hnsw_backend_ranks_overlap_first(corpus):
+    searcher = DeepJoinSearcher(corpus, use_hnsw=True)
+    ranked = searcher.retrieve(SearchQuery(table="q", column="place"), k=2)
+    assert ranked[0] == "match"
+
+
+def test_backends_agree_on_top_result(corpus):
+    exact = DeepJoinSearcher(corpus, use_hnsw=False)
+    approx = DeepJoinSearcher(corpus, use_hnsw=True)
+    query = SearchQuery(table="q", column="place")
+    assert exact.retrieve(query, 1) == approx.retrieve(query, 1)

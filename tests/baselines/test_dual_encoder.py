@@ -1,0 +1,106 @@
+"""Dual-encoder baselines: information access and frozen trunks."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dual_encoder import (
+    BASELINE_FACTORIES,
+    DualEncoderTrainer,
+    make_baseline,
+)
+from repro.core.finetune import TaskType
+from repro.table.schema import table_from_rows
+
+
+@pytest.fixture(scope="module")
+def pair_data():
+    """Binary task: positives share value vocabulary, headers identical."""
+    rng = np.random.default_rng(0)
+    tables = []
+    for i in range(10):
+        domain = i % 2
+        rows = [
+            [f"d{domain}w{int(rng.integers(20))}", str(int(rng.integers(100)))]
+            for _ in range(12)
+        ]
+        tables.append(table_from_rows(f"t{i}", ["name", "value"], rows))
+    pairs = []
+    for i in range(10):
+        for j in range(i + 1, 10):
+            pairs.append((tables[i], tables[j], int(i % 2 == j % 2)))
+    return pairs
+
+
+def test_factory_names():
+    assert set(BASELINE_FACTORIES) == {
+        "Vanilla BERT", "TaBERT", "TUTA", "TAPAS", "TABBIE",
+    }
+
+
+@pytest.mark.parametrize("name", ["TaBERT", "TUTA"])
+def test_trainable_baselines_learn_from_values(name, pair_data, tiny_tokenizer):
+    model, spec = make_baseline(name, tiny_tokenizer, TaskType.BINARY, 2, dim=24)
+    trainer = DualEncoderTrainer(model, spec, epochs=6, batch_size=16,
+                                 learning_rate=3e-3)
+    history = trainer.train(pair_data)
+    assert history.train_losses[-1] < history.train_losses[0]
+
+
+def test_vanilla_bert_is_blind_to_values(pair_data, tiny_tokenizer):
+    """Headers are identical everywhere, so Vanilla BERT's two inputs are
+    identical strings — it cannot separate the classes (the CKAN-subset
+    failure mode of Table II)."""
+    model, spec = make_baseline("Vanilla BERT", tiny_tokenizer, TaskType.BINARY, 2, dim=24)
+    trainer = DualEncoderTrainer(model, spec, epochs=4, batch_size=16)
+    trainer.train(pair_data)
+    predictions = trainer.predict(pair_data)
+    assert len(set(predictions.tolist())) == 1  # collapses to one class
+
+
+def test_frozen_trunk_does_not_move(pair_data, tiny_tokenizer):
+    model, spec = make_baseline("TAPAS", tiny_tokenizer, TaskType.BINARY, 2, dim=24)
+    trunk_before = {
+        name: param.data.copy()
+        for name, param in model.trunk.named_parameters()
+    }
+    trainer = DualEncoderTrainer(model, spec, epochs=2, batch_size=16)
+    trainer.train(pair_data[:20])
+    for name, param in model.trunk.named_parameters():
+        assert np.array_equal(trunk_before[name], param.data), name
+    # ... but the head did learn.
+    assert len(model.trainable_parameters()) < len(model.parameters())
+
+
+def test_regression_and_multilabel_heads(pair_data, tiny_tokenizer):
+    model, spec = make_baseline("TaBERT", tiny_tokenizer, TaskType.REGRESSION, 1, dim=24)
+    trainer = DualEncoderTrainer(model, spec, epochs=1, batch_size=16)
+    regression_pairs = [(a, b, float(label)) for a, b, label in pair_data[:12]]
+    trainer.train(regression_pairs)
+    predictions = trainer.predict(regression_pairs)
+    assert predictions.shape == (12,)
+
+    model_ml, spec_ml = make_baseline("TaBERT", tiny_tokenizer, TaskType.MULTILABEL, 3, dim=24)
+    trainer_ml = DualEncoderTrainer(model_ml, spec_ml, epochs=1, batch_size=16)
+    ml_pairs = [(a, b, [float(label), 0.0, 1.0]) for a, b, label in pair_data[:12]]
+    trainer_ml.train(ml_pairs)
+    probabilities = trainer_ml.predict(ml_pairs)
+    assert probabilities.shape == (12, 3)
+    assert np.all((probabilities >= 0) & (probabilities <= 1))
+
+
+def test_evaluate_returns_task_metric(pair_data, tiny_tokenizer):
+    model, spec = make_baseline("TaBERT", tiny_tokenizer, TaskType.BINARY, 2, dim=24)
+    trainer = DualEncoderTrainer(model, spec, epochs=1, batch_size=16)
+    trainer.train(pair_data[:20])
+    score = trainer.evaluate(pair_data[:20])
+    assert 0.0 <= score <= 1.0
+
+
+def test_table_and_column_embeddings(pair_data, tiny_tokenizer, city_table):
+    model, spec = make_baseline("TaBERT", tiny_tokenizer, TaskType.BINARY, 2, dim=24)
+    trainer = DualEncoderTrainer(model, spec, epochs=1, batch_size=8)
+    table_vec = trainer.table_embedding(city_table)
+    column_vec = trainer.column_embedding(city_table, "city")
+    assert table_vec.shape == (24,)
+    assert column_vec.shape == (24,)
+    assert not np.allclose(table_vec, column_vec)

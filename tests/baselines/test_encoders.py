@@ -1,0 +1,68 @@
+"""Baseline serializers and the shared text-table encoder."""
+
+import numpy as np
+
+from repro.baselines.encoders import (
+    TextTableEncoder,
+    serialize_column,
+    serialize_headers,
+    serialize_rows,
+    serialize_table_sequence,
+)
+
+
+def test_serialize_headers_only(city_table):
+    text = serialize_headers(city_table)
+    assert "city" in text and "population" in text
+    assert "vienna" not in text  # headers only: no values visible
+
+
+def test_serialize_rows_includes_values(city_table):
+    text = serialize_rows(city_table, max_rows=2)
+    assert "vienna" in text
+    assert "linz" not in text  # beyond max_rows
+
+
+def test_serialize_rows_query_prefix(city_table):
+    text = serialize_rows(city_table, max_rows=1, query_prefix="[empty question]")
+    assert text.startswith("[empty question]")
+
+
+def test_serialize_table_sequence_pairs_headers_with_cells(city_table):
+    text = serialize_table_sequence(city_table, max_cells=3)
+    assert "city vienna" in text
+    assert text.count(";") <= 3
+
+
+def test_serialize_column(city_table):
+    text = serialize_column(city_table, "city", max_values=2)
+    assert text.startswith("city")
+    assert "vienna" in text and "linz" not in text
+
+
+def test_encoder_shapes(tiny_tokenizer):
+    encoder = TextTableEncoder(tiny_tokenizer, dim=24, max_seq_len=32)
+    ids, mask = encoder.encode_text("vienna population data")
+    assert ids.shape == (32,)
+    assert mask.sum() >= 3
+    out = encoder(ids[None, :], mask[None, :])
+    assert out.shape == (1, 24)
+
+
+def test_encoder_truncates_long_text(tiny_tokenizer):
+    encoder = TextTableEncoder(tiny_tokenizer, dim=16, max_seq_len=8)
+    ids, mask = encoder.encode_text("word " * 100)
+    assert ids.shape == (8,)
+    assert mask.sum() == 8
+
+
+def test_masked_mean_ignores_padding(tiny_tokenizer):
+    encoder = TextTableEncoder(tiny_tokenizer, dim=16, max_seq_len=16)
+    encoder.eval()
+    ids, mask = encoder.encode_text("vienna")
+    base = encoder(ids[None, :], mask[None, :]).numpy()
+    # Garbage in the padded region must not change the embedding.
+    noisy = ids.copy()
+    noisy[int(mask.sum()):] = 5
+    after = encoder(noisy[None, :], mask[None, :]).numpy()
+    assert np.allclose(base, after)

@@ -1,0 +1,86 @@
+"""Search baselines against controlled corpora."""
+
+import pytest
+
+from repro.baselines import (
+    D3lSearcher,
+    DeepJoinSearcher,
+    JosieSearcher,
+    LshForestSearcher,
+    SantosSearcher,
+    SbertSearcher,
+    WarpGateSearcher,
+)
+from repro.lakebench.base import SearchQuery
+from repro.table.schema import table_from_rows
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """q's key column overlaps 'match' heavily, 'partial' somewhat, 'other'
+    not at all."""
+    def col(vals, extra):
+        return [[v, str(100 + i)] for i, v in enumerate(vals + extra)]
+
+    shared = [f"city{i}" for i in range(20)]
+    tables = {
+        "q": table_from_rows("q", ["place", "pop"], col(shared, [])),
+        "match": table_from_rows("match", ["town", "count"], col(shared[:18], ["x1", "x2"])),
+        "partial": table_from_rows("partial", ["town", "count"], col(shared[:8], [f"y{i}" for i in range(12)])),
+        "other": table_from_rows("other", ["item", "price"], col([f"prod{i}" for i in range(20)], [])),
+    }
+    return tables
+
+
+@pytest.mark.parametrize(
+    "searcher_cls",
+    [JosieSearcher, LshForestSearcher, SbertSearcher, DeepJoinSearcher, WarpGateSearcher],
+)
+def test_join_searchers_rank_overlap_first(corpus, searcher_cls):
+    searcher = searcher_cls(corpus)
+    query = SearchQuery(table="q", column="place")
+    ranked = searcher.retrieve(query, k=3)
+    assert ranked[0] == "match"
+    assert "q" not in ranked  # query table excluded
+
+
+def test_josie_exact_containment_ordering(corpus):
+    searcher = JosieSearcher(corpus)
+    ranked = searcher.retrieve(SearchQuery(table="q", column="place"), k=3)
+    assert ranked[:2] == ["match", "partial"]
+
+
+def test_josie_empty_query_column():
+    tables = {"q": table_from_rows("q", ["a"], [[""]])}
+    searcher = JosieSearcher(tables)
+    assert searcher.retrieve(SearchQuery(table="q", column="a"), k=5) == []
+
+
+@pytest.mark.parametrize("searcher_cls", [D3lSearcher, SantosSearcher])
+def test_union_searchers_rank_same_topic_first(searcher_cls):
+    def entity_table(name, prefix, header):
+        rows = [[f"{prefix}{i}", str(50 + i)] for i in range(15)]
+        return table_from_rows(name, header, rows)
+
+    tables = {
+        "q": entity_table("q", "cityburg", ["city", "population"]),
+        "same": entity_table("same", "cityburg", ["town", "population"]),
+        "else": entity_table("else", "productmatic", ["item", "price"]),
+    }
+    searcher = searcher_cls(tables)
+    ranked = searcher.retrieve(SearchQuery(table="q"), k=2)
+    assert ranked[0] == "same"
+
+
+def test_sbert_table_embedding_order_sensitivity(corpus):
+    searcher = SbertSearcher(corpus)
+    table = corpus["q"]
+    sensitive = searcher.table_embedding(table, order_sensitive=True)
+    from repro.table.transform import shuffle_rows
+    import numpy as np
+
+    from repro.utils.rng import spawn_rng
+
+    shuffled = shuffle_rows(table, spawn_rng(0, "s"))
+    sensitive_shuffled = searcher.table_embedding(shuffled, order_sensitive=True)
+    assert not np.allclose(sensitive, sensitive_shuffled)

@@ -1,0 +1,56 @@
+"""Starmie: contrastive column embeddings and greedy matching."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.starmie import StarmieSearcher
+from repro.lakebench.base import SearchQuery
+from repro.table.schema import table_from_rows
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    def entity_table(name, prefix):
+        rows = [[f"{prefix}_{i}", str(10 + i)] for i in range(20)]
+        return table_from_rows(name, ["name", "value"], rows)
+
+    return {
+        "q": entity_table("q", "velatburg"),
+        "same_a": entity_table("same_a", "velatburg"),
+        "same_b": entity_table("same_b", "velatburg"),
+        "else": entity_table("else", "scanomatic"),
+    }
+
+
+@pytest.fixture(scope="module")
+def searcher(corpus):
+    return StarmieSearcher(corpus, epochs=2, embed_dim=24)
+
+
+def test_embeddings_are_unit_norm(searcher, corpus):
+    vectors = searcher._table_vectors["q"]
+    assert vectors.shape == (2, 24)
+    norms = np.linalg.norm(vectors, axis=1)
+    assert np.allclose(norms, 1.0, atol=1e-6)
+
+
+def test_same_domain_ranked_first(searcher):
+    ranked = searcher.retrieve(SearchQuery(table="q"), k=2)
+    assert set(ranked) == {"same_a", "same_b"}
+
+
+def test_greedy_match_score_bounds():
+    a = np.eye(3)
+    score_same = StarmieSearcher._greedy_match_score(a, a)
+    assert score_same == pytest.approx(1.0)
+    score_orthogonal = StarmieSearcher._greedy_match_score(a[:1], np.array([[0, 1, 0.0]]))
+    assert score_orthogonal == pytest.approx(0.0)
+
+
+def test_greedy_match_one_to_one():
+    """A single strong row cannot be matched twice."""
+    a = np.array([[1.0, 0.0], [1.0, 0.0]])
+    b = np.array([[1.0, 0.0], [0.0, 1.0]])
+    score = StarmieSearcher._greedy_match_score(a, b)
+    # Best: one pair at 1.0, the other forced to 0.0 → mean 0.5.
+    assert score == pytest.approx(0.5)

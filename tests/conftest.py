@@ -1,0 +1,113 @@
+"""Shared fixtures: small tables, a tokenizer and a tiny model config."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import InputEncoder, TabSketchFM, TabSketchFMConfig
+from repro.sketch import SketchConfig, sketch_table
+from repro.table.schema import Table, table_from_rows
+from repro.text import WordPieceTokenizer
+
+
+@pytest.fixture(scope="session")
+def city_table() -> Table:
+    return table_from_rows(
+        "cities",
+        ["city", "population", "founded"],
+        [
+            ["vienna", "1900000", "1156"],
+            ["graz", "290000", "1128"],
+            ["linz", "210000", "799"],
+            ["salzburg", "155000", "696"],
+            ["innsbruck", "132000", "1180"],
+        ],
+        description="austrian city statistics",
+    )
+
+
+@pytest.fixture(scope="session")
+def product_table() -> Table:
+    return table_from_rows(
+        "products",
+        ["product", "price", "stock", "launched"],
+        [
+            ["fotomatic pro", "129.99", "55", "2020-03-01"],
+            ["dustomatic lite", "49.50", "210", "2019-11-15"],
+            ["brewmatic max", "220.00", "12", "2021-06-30"],
+            ["scanomatic plus", "89.90", "80", "2018-01-20"],
+        ],
+        description="product inventory snapshot",
+    )
+
+
+@pytest.fixture(scope="session")
+def mixed_table() -> Table:
+    return table_from_rows(
+        "mixed",
+        ["code", "amount", "note"],
+        [
+            ["A1", "10.5", ""],
+            ["B2", "20.25", "checked"],
+            ["C3", "", "missing amount"],
+            ["A1", "7.75", "dup code"],
+        ],
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_sketch_config() -> SketchConfig:
+    return SketchConfig(num_perm=16, seed=1)
+
+
+@pytest.fixture(scope="session")
+def tiny_tokenizer(city_table, product_table) -> WordPieceTokenizer:
+    texts = []
+    for table in (city_table, product_table):
+        texts.append(table.description)
+        texts.extend(table.header)
+        for column in table.columns:
+            texts.extend(column.values[:5])
+    texts.extend(["reference area", "population count", "value", "name"])
+    return WordPieceTokenizer.train(texts, vocab_size=600)
+
+
+@pytest.fixture(scope="session")
+def tiny_config(tiny_tokenizer, tiny_sketch_config) -> TabSketchFMConfig:
+    return TabSketchFMConfig(
+        vocab_size=600,
+        dim=32,
+        num_layers=1,
+        num_heads=2,
+        ffn_dim=64,
+        dropout=0.0,
+        max_seq_len=96,
+        sketch=tiny_sketch_config,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_encoder(tiny_config, tiny_tokenizer) -> InputEncoder:
+    return InputEncoder(tiny_config, tiny_tokenizer)
+
+
+@pytest.fixture()
+def tiny_model(tiny_config) -> TabSketchFM:
+    return TabSketchFM(tiny_config)
+
+
+@pytest.fixture(scope="session")
+def city_sketch(city_table, tiny_sketch_config):
+    return sketch_table(city_table, tiny_sketch_config)
+
+
+@pytest.fixture(scope="session")
+def product_sketch(product_table, tiny_sketch_config):
+    return sketch_table(product_table, tiny_sketch_config)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

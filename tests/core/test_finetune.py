@@ -1,0 +1,110 @@
+"""Cross-encoder fine-tuning: heads, losses, training, prediction."""
+
+import numpy as np
+import pytest
+
+from repro.core.finetune import (
+    CrossEncoder,
+    FinetuneConfig,
+    Finetuner,
+    PairExample,
+    TaskType,
+)
+from repro.sketch import sketch_table
+from repro.table.schema import table_from_rows
+
+
+def _make_sketches(config, n=8, rows=20):
+    """Tables in two 'domains' distinguishable by value overlap."""
+    rng = np.random.default_rng(0)
+    sketches = []
+    for i in range(n):
+        domain = i % 2
+        pool = [f"d{domain}_v{j}" for j in range(40)]
+        values = [pool[int(rng.integers(40))] for _ in range(rows)]
+        numbers = [str(int(rng.integers(100, 1000)) * (10 ** domain)) for _ in range(rows)]
+        table = table_from_rows(
+            f"t{i}", ["key", "amount"], list(zip(values, numbers))
+        )
+        sketches.append(sketch_table(table, config))
+    return sketches
+
+
+@pytest.fixture()
+def binary_setup(tiny_model, tiny_encoder, tiny_sketch_config):
+    sketches = _make_sketches(tiny_sketch_config)
+    pairs = []
+    for i in range(len(sketches)):
+        for j in range(i + 1, len(sketches)):
+            pairs.append(PairExample(sketches[i], sketches[j], int(i % 2 == j % 2)))
+    model = CrossEncoder(tiny_model, TaskType.BINARY, 2, dropout=0.0)
+    trainer = Finetuner(
+        model, tiny_encoder,
+        FinetuneConfig(epochs=12, batch_size=8, learning_rate=3e-3, patience=12),
+    )
+    return trainer, pairs
+
+
+def test_head_width_validation(tiny_model):
+    with pytest.raises(ValueError, match="outputs"):
+        CrossEncoder(tiny_model, TaskType.BINARY, 3)
+    with pytest.raises(ValueError, match="outputs"):
+        CrossEncoder(tiny_model, TaskType.REGRESSION, 2)
+
+
+def test_binary_training_learns(binary_setup):
+    trainer, pairs = binary_setup
+    history = trainer.train(pairs, pairs[:6])
+    assert history.train_losses[-1] < history.train_losses[0]
+    predictions = trainer.predict(pairs)
+    labels = np.array([p.label for p in pairs])
+    accuracy = float(np.mean(predictions == labels))
+    assert accuracy > 0.6
+
+
+def test_binary_predictions_are_class_ids(binary_setup):
+    trainer, pairs = binary_setup
+    predictions = trainer.predict(pairs[:5])
+    assert set(np.unique(predictions)) <= {0, 1}
+
+
+def test_regression_head(tiny_model, tiny_encoder, tiny_sketch_config):
+    sketches = _make_sketches(tiny_sketch_config, n=6)
+    pairs = [
+        PairExample(sketches[i], sketches[j], float((i + j) % 3) / 2.0)
+        for i in range(6)
+        for j in range(6)
+        if i < j
+    ]
+    model = CrossEncoder(tiny_model, TaskType.REGRESSION, 1, dropout=0.0)
+    trainer = Finetuner(model, tiny_encoder, FinetuneConfig(epochs=3, batch_size=8))
+    history = trainer.train(pairs)
+    assert history.train_losses[-1] < history.train_losses[0]
+    predictions = trainer.predict(pairs)
+    assert predictions.shape == (len(pairs),)
+    assert predictions.dtype == np.float64
+
+
+def test_multilabel_head(tiny_model, tiny_encoder, tiny_sketch_config):
+    sketches = _make_sketches(tiny_sketch_config, n=6)
+    rng = np.random.default_rng(1)
+    pairs = [
+        PairExample(
+            sketches[int(rng.integers(6))],
+            sketches[int(rng.integers(6))],
+            rng.integers(0, 2, size=4).astype(float).tolist(),
+        )
+        for _ in range(12)
+    ]
+    model = CrossEncoder(tiny_model, TaskType.MULTILABEL, 4, dropout=0.0)
+    trainer = Finetuner(model, tiny_encoder, FinetuneConfig(epochs=2, batch_size=6))
+    trainer.train(pairs)
+    probabilities = trainer.predict(pairs)
+    assert probabilities.shape == (len(pairs), 4)
+    assert np.all((probabilities >= 0) & (probabilities <= 1))
+
+
+def test_empty_predict(tiny_model, tiny_encoder):
+    model = CrossEncoder(tiny_model, TaskType.BINARY, 2)
+    trainer = Finetuner(model, tiny_encoder)
+    assert trainer.predict([]).shape == (0,)

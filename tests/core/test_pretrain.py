@@ -1,0 +1,99 @@
+"""MLM pre-training: whole-column masking, augmentation, loss descent."""
+
+import numpy as np
+import pytest
+
+from repro.core.pretrain import (
+    IGNORE_INDEX,
+    PretrainConfig,
+    Pretrainer,
+    augment_tables,
+    make_masked_examples,
+)
+from repro.sketch import sketch_table
+from repro.table.schema import table_from_rows
+from repro.utils.rng import spawn_rng
+
+
+@pytest.fixture()
+def masked_examples(tiny_encoder, city_sketch):
+    encoded = tiny_encoder.encode_table(city_sketch)
+    return encoded, make_masked_examples(
+        encoded, tiny_encoder, spawn_rng(0, "test-mask")
+    )
+
+
+def test_one_example_per_column_for_small_tables(masked_examples, city_sketch):
+    _, examples = masked_examples
+    assert len(examples) == city_sketch.n_cols  # 3 columns <= 5
+
+
+def test_whole_column_masked(masked_examples, tiny_encoder):
+    encoded, examples = masked_examples
+    mask_id = tiny_encoder.tokenizer.vocabulary.mask_id
+    for example, span in zip(examples, encoded.spans):
+        ids = example.encoding.token_ids
+        assert np.all(ids[span.start : span.stop] == mask_id)
+        # Labels hold the original ids exactly on masked positions.
+        labels = example.labels
+        assert np.all(labels[span.start : span.stop] != IGNORE_INDEX)
+
+
+def test_unmasked_positions_ignored(masked_examples, tiny_encoder):
+    encoded, examples = masked_examples
+    example = examples[0]
+    span = encoded.spans[0]
+    mask_id = tiny_encoder.tokenizer.vocabulary.mask_id
+    outside = [
+        i for i in range(encoded.length)
+        if not (span.start <= i < span.stop)
+        and example.encoding.token_ids[i] != mask_id
+    ]
+    assert all(example.labels[i] == IGNORE_INDEX for i in outside)
+
+
+def test_large_tables_capped_at_five_masks(tiny_encoder, tiny_sketch_config):
+    wide = table_from_rows(
+        "wide",
+        [f"column {i}" for i in range(9)],
+        [[str(i * j) for i in range(9)] for j in range(6)],
+    )
+    sketch = sketch_table(wide, tiny_sketch_config)
+    encoded = tiny_encoder.encode_table(sketch)
+    examples = make_masked_examples(encoded, tiny_encoder, spawn_rng(1, "cap"))
+    assert len(examples) == 5
+
+
+def test_augment_tables_adds_shuffled_copies(city_table):
+    augmented = augment_tables([city_table], copies=2, seed=0)
+    assert len(augmented) == 3
+    for copy in augmented[1:]:
+        assert sorted(copy.header) == sorted(city_table.header)
+
+
+def test_pretraining_reduces_loss(tiny_model, tiny_encoder, city_sketch, product_sketch):
+    trainer = Pretrainer(
+        tiny_model, tiny_encoder,
+        PretrainConfig(epochs=4, batch_size=4, learning_rate=3e-3, patience=10),
+    )
+    examples = []
+    rng = spawn_rng(2, "train")
+    for sketch in (city_sketch, product_sketch):
+        encoded = tiny_encoder.encode_table(sketch)
+        examples.extend(make_masked_examples(encoded, tiny_encoder, rng))
+    history = trainer.train(examples, examples[:2])
+    assert history.train_losses[-1] < history.train_losses[0]
+    assert len(history.valid_losses) == len(history.train_losses)
+
+
+def test_early_stopping_triggers(tiny_model, tiny_encoder, city_sketch):
+    trainer = Pretrainer(
+        tiny_model, tiny_encoder,
+        # lr=0 → validation loss never improves → patience=1 stops epoch 2.
+        PretrainConfig(epochs=10, batch_size=4, learning_rate=0.0, patience=1),
+    )
+    encoded = tiny_encoder.encode_table(city_sketch)
+    examples = make_masked_examples(encoded, tiny_encoder, spawn_rng(3, "stop"))
+    history = trainer.train(examples, examples)
+    assert history.stopped_early
+    assert len(history.train_losses) < 10

@@ -1,0 +1,70 @@
+"""TabSketchFM search adapters (join/union recipes, SBERT concatenation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.embed import TableEmbedder
+from repro.core.searcher import TabSketchFMSearcher
+from repro.eval.experiments import sketch_cache
+from repro.lakebench.base import SearchQuery
+from repro.table.schema import table_from_rows
+from repro.text.sbert import HashedSentenceEncoder
+
+
+@pytest.fixture()
+def small_corpus(tiny_sketch_config):
+    shared = [f"velatburg{i}" for i in range(25)]
+    other = [f"scanomatic{i}" for i in range(25)]
+
+    def make(name, values):
+        rows = [[v, str(100 + i)] for i, v in enumerate(values)]
+        return table_from_rows(name, ["place", "count"], rows)
+
+    tables = {
+        "q": make("q", shared),
+        "overlap": make("overlap", shared[:20] + other[:5]),
+        "unrelated": make("unrelated", other),
+    }
+    return tables, sketch_cache(tables, tiny_sketch_config)
+
+
+def test_join_retrieval_prefers_overlap(tiny_model, tiny_encoder, small_corpus):
+    tables, sketches = small_corpus
+    searcher = TabSketchFMSearcher(
+        TableEmbedder(tiny_model, tiny_encoder), tables, sketches
+    )
+    ranked = searcher.retrieve(SearchQuery(table="q", column="place"), k=2)
+    assert ranked[0] == "overlap"
+    assert "q" not in ranked
+
+
+def test_union_retrieval_runs_fig6(tiny_model, tiny_encoder, small_corpus):
+    tables, sketches = small_corpus
+    searcher = TabSketchFMSearcher(
+        TableEmbedder(tiny_model, tiny_encoder), tables, sketches
+    )
+    ranked = searcher.retrieve(SearchQuery(table="q"), k=2)
+    assert ranked[0] == "overlap"
+
+
+def test_sbert_concat_widens_vectors(tiny_model, tiny_encoder, small_corpus):
+    tables, sketches = small_corpus
+    sbert = HashedSentenceEncoder(dim=32)
+    searcher = TabSketchFMSearcher(
+        TableEmbedder(tiny_model, tiny_encoder), tables, sketches, sbert=sbert
+    )
+    assert searcher.name == "TabSketchFM-SBERT"
+    key = ("q", "place")
+    assert searcher._column_vectors[key].shape == (
+        tiny_model.config.dim + 32,
+    )
+    ranked = searcher.retrieve(SearchQuery(table="q", column="place"), k=2)
+    assert ranked[0] == "overlap"
+
+
+def test_names(tiny_model, tiny_encoder, small_corpus):
+    tables, sketches = small_corpus
+    embedder = TableEmbedder(tiny_model, tiny_encoder)
+    assert TabSketchFMSearcher(embedder, tables, sketches).name == "TabSketchFM"
+    named = TabSketchFMSearcher(embedder, tables, sketches, name="custom")
+    assert named.name == "custom"

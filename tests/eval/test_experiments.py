@@ -1,0 +1,55 @@
+"""Experiment plumbing."""
+
+import numpy as np
+
+from repro.core.finetune import TaskType
+from repro.eval.experiments import (
+    dataset_pair_examples,
+    evaluate_pair_task,
+    format_table,
+    sketch_cache,
+)
+from repro.lakebench import make_wiki_jaccard
+from repro.sketch import SketchConfig
+
+
+def test_sketch_cache_covers_all_tables(city_table, product_table):
+    tables = {"cities": city_table, "products": product_table}
+    cache = sketch_cache(tables, SketchConfig(num_perm=8))
+    assert set(cache) == set(tables)
+    assert cache["cities"].n_cols == 3
+
+
+def test_dataset_pair_examples_resolve_names():
+    dataset = make_wiki_jaccard(scale=0.2)
+    cache = sketch_cache(dataset.tables, SketchConfig(num_perm=8))
+    examples = dataset_pair_examples(dataset, cache, dataset.train[:5])
+    assert len(examples) == 5
+    assert examples[0].first.table_name == dataset.train[0].first
+
+
+def test_evaluate_pair_task_dispatch():
+    binary = evaluate_pair_task(
+        TaskType.BINARY, [0, 1, 1], np.array([0, 1, 0])
+    )
+    assert 0.0 <= binary <= 1.0
+    regression = evaluate_pair_task(
+        TaskType.REGRESSION, [1.0, 2.0], np.array([1.0, 2.0])
+    )
+    assert regression == 1.0
+    multilabel = evaluate_pair_task(
+        TaskType.MULTILABEL, [[1.0, 0.0]], np.array([[0.9, 0.1]])
+    )
+    assert multilabel == 1.0
+
+
+def test_format_table_renders_all_columns():
+    rows = [{"task": "union", "f1": 0.9}, {"task": "join", "f1": 0.8, "extra": 1}]
+    text = format_table(rows, title="Results")
+    assert "Results" in text
+    assert "union" in text and "join" in text
+    assert "extra" in text
+
+
+def test_format_table_empty():
+    assert "(no rows)" in format_table([], title="x")

@@ -1,0 +1,118 @@
+"""Synthetic lake substrate: catalogue, polysemy, table factory."""
+
+import numpy as np
+import pytest
+
+from repro.lakebench.generators import (
+    DOMAIN_SPECS,
+    EntityCatalogue,
+    LakeConfig,
+    TableFactory,
+)
+from repro.table.schema import ColumnType
+from repro.utils.rng import spawn_rng
+
+
+@pytest.fixture(scope="module")
+def catalogue():
+    return EntityCatalogue(LakeConfig(entities_per_domain=100, seed=1))
+
+
+@pytest.fixture(scope="module")
+def factory(catalogue):
+    return TableFactory(catalogue)
+
+
+def test_all_domains_built(catalogue):
+    assert len(catalogue.domain_names) == len(DOMAIN_SPECS)
+    for name in catalogue.domain_names:
+        assert len(catalogue.domain(name).entities) == 100
+
+
+def test_catalogue_deterministic():
+    a = EntityCatalogue(LakeConfig(entities_per_domain=50, seed=3))
+    b = EntityCatalogue(LakeConfig(entities_per_domain=50, seed=3))
+    assert a.domain("person").surfaces() == b.domain("person").surfaces()
+
+
+def test_entity_ids_unique_within_domain(catalogue):
+    for name in catalogue.domain_names:
+        ids = [e.entity_id for e in catalogue.domain(name).entities]
+        assert len(set(ids)) == len(ids)
+
+
+def test_polysemy_exists(catalogue):
+    """Some surface forms appear in two domains under different ids."""
+    surface_domains: dict[str, set[str]] = {}
+    for name in catalogue.domain_names:
+        for entity in catalogue.domain(name).entities:
+            surface_domains.setdefault(entity.surface, set()).add(name)
+    shared = [s for s, domains in surface_domains.items() if len(domains) > 1]
+    assert shared  # the Aleppo trap is in place
+
+
+def test_entity_table_structure(factory):
+    rng = spawn_rng(0, "t")
+    table = factory.entity_table("t1", "municipality", rng, n_rows=20,
+                                 n_attributes=2, include_date=True)
+    assert table.n_rows == 20
+    assert table.n_cols == 4  # key + 2 attrs + date
+    assert table.columns[0].inferred_type == ColumnType.STRING
+    assert table.metadata["domain"] == "municipality"
+    key = table.metadata["key_column"]
+    assert len(table.metadata["column_entities"][key]) == 20
+
+
+def test_generic_headers(factory):
+    rng = spawn_rng(1, "t")
+    table = factory.entity_table("t2", "product", rng, n_rows=10,
+                                 n_attributes=2, generic_headers=True)
+    assert table.header[0] == "name"
+    assert table.header[1].startswith("value")
+    assert table.description == ""
+
+
+def test_entity_indices_control_values(factory):
+    rng = spawn_rng(2, "t")
+    domain = factory.catalogue.domain("country")
+    table = factory.entity_table("t3", "country", rng, entity_indices=[0, 1, 2])
+    expected = [domain.entities[i].surface for i in range(3)]
+    assert table.columns[0].values == expected
+
+
+def test_overlapping_entity_indices(factory):
+    rng = spawn_rng(3, "t")
+    first, second = factory.overlapping_entity_indices(
+        "species", rng, n_first=20, n_second=20, overlap=0.5
+    )
+    shared = set(first) & set(second)
+    assert len(first) == len(second) == 20
+    assert len(shared) == 10
+
+
+def test_overlap_zero_is_disjoint(factory):
+    rng = spawn_rng(4, "t")
+    first, second = factory.overlapping_entity_indices(
+        "street", rng, n_first=15, n_second=15, overlap=0.0
+    )
+    assert not set(first) & set(second)
+
+
+def test_numeric_attributes_parse_as_numbers(factory):
+    rng = spawn_rng(5, "t")
+    table = factory.entity_table("t4", "company", rng, n_rows=15, n_attributes=2)
+    for column in table.columns[1:]:
+        assert column.inferred_type in (ColumnType.INTEGER, ColumnType.FLOAT)
+
+
+def test_scale_shift_moves_distribution(factory):
+    rng_a = spawn_rng(6, "a")
+    rng_b = spawn_rng(6, "a")  # same stream → same base draws
+    base = factory.entity_table("a", "company", rng_a, n_rows=20,
+                                n_attributes=1, entity_indices=[0, 1, 2])
+    shifted = factory.entity_table("b", "company", rng_b, n_rows=20,
+                                   n_attributes=1, entity_indices=[0, 1, 2],
+                                   scale_shift=1000.0)
+    mean_base = np.mean([float(v) for v in base.columns[1].values])
+    mean_shifted = np.mean([float(v) for v in shifted.columns[1].values])
+    assert mean_shifted > mean_base * 100

@@ -1,0 +1,103 @@
+"""Search benchmarks: ground-truth construction invariants."""
+
+import pytest
+
+from repro.lakebench import (
+    make_eurostat_subset_search,
+    make_santos_search,
+    make_tus_search,
+    make_wiki_join_search,
+)
+from repro.sketch.minhash import exact_jaccard
+
+SCALE = 0.3
+
+
+@pytest.fixture(scope="module")
+def wiki_join():
+    return make_wiki_join_search(scale=SCALE)
+
+
+def test_wiki_join_ground_truth_matches_annotation_rule(wiki_join):
+    """Relevance is entity-annotation Jaccard > 0.5, exactly (§IV-C1)."""
+    annotations = {
+        name: set(
+            table.metadata["column_entities"][table.metadata["key_column"]]
+        )
+        for name, table in wiki_join.tables.items()
+    }
+    for query in wiki_join.queries[:10]:
+        expected = set()
+        q_ids = annotations[query.table]
+        for other, ids in annotations.items():
+            if other == query.table:
+                continue
+            union = q_ids | ids
+            if union and len(q_ids & ids) / len(union) > 0.5:
+                expected.add(other)
+        assert wiki_join.relevant(query) == expected
+
+
+def test_wiki_join_has_polysemy_traps(wiki_join):
+    """Some irrelevant tables overlap the query heavily in *values*."""
+    found_trap = False
+    for query in wiki_join.queries:
+        table = wiki_join.tables[query.table]
+        q_values = set(table.column(query.column).values)
+        relevant = wiki_join.relevant(query)
+        for other_name, other in wiki_join.tables.items():
+            if other_name == query.table or other_name in relevant:
+                continue
+            key = other.metadata["key_column"]
+            overlap = exact_jaccard(q_values, set(other.column(key).values))
+            if overlap > 0.4:
+                found_trap = True
+                break
+        if found_trap:
+            break
+    assert found_trap
+
+
+def test_wiki_join_queries_have_column(wiki_join):
+    for query in wiki_join.queries:
+        assert query.column is not None
+        assert query.column in [c.name for c in wiki_join.tables[query.table].columns]
+
+
+def test_union_groups_are_symmetric():
+    bench = make_tus_search(scale=SCALE)
+    for query in bench.queries[:10]:
+        for other in bench.relevant(query):
+            other_query_gt = bench.ground_truth[other]
+            assert query.table in other_query_gt
+
+
+def test_santos_tables_have_relationship_columns():
+    bench = make_santos_search(scale=SCALE)
+    with_relationship = [
+        t for t in bench.tables.values() if "relationship" in t.metadata
+    ]
+    assert len(with_relationship) == len(bench.tables)
+
+
+def test_eurostat_variants_per_query():
+    bench = make_eurostat_subset_search(scale=SCALE)
+    for query in bench.queries:
+        relevant = bench.relevant(query)
+        assert len(relevant) == 11  # the Fig. 7 protocol
+        for name in relevant:
+            assert name.startswith(query.table)
+
+
+def test_eurostat_shuffle_variants_exist():
+    bench = make_eurostat_subset_search(scale=SCALE)
+    names = set(bench.tables)
+    assert any(n.endswith("__shuffle_rows") for n in names)
+    assert any(n.endswith("__shuffle_cols") for n in names)
+
+
+def test_stats_shapes():
+    bench = make_tus_search(scale=SCALE)
+    stats = bench.stats()
+    assert stats["n_tables"] == len(bench.tables)
+    assert stats["n_queries"] == len(bench.queries)

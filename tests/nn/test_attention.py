@@ -1,0 +1,65 @@
+"""Multi-head self-attention behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture()
+def attention():
+    layer = MultiHeadSelfAttention(dim=16, num_heads=4, dropout=0.0)
+    layer.eval()
+    return layer
+
+
+def test_output_shape(attention):
+    x = Tensor(np.random.default_rng(0).normal(size=(2, 6, 16)))
+    assert attention(x).shape == (2, 6, 16)
+
+
+def test_head_divisibility():
+    with pytest.raises(ValueError, match="divisible"):
+        MultiHeadSelfAttention(dim=10, num_heads=3)
+
+
+def test_padding_mask_blocks_information(attention):
+    """Masked positions must not influence unmasked outputs."""
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(1, 5, 16))
+    mask = np.array([[1.0, 1.0, 1.0, 0.0, 0.0]])
+    base = attention(Tensor(x), mask).numpy()[:, :3]
+    # Change the padded positions wildly: visible outputs must be identical.
+    perturbed = x.copy()
+    perturbed[0, 3:] += 100.0
+    after = attention(Tensor(perturbed), mask).numpy()[:, :3]
+    assert np.allclose(base, after, atol=1e-10)
+
+
+def test_no_mask_attends_everywhere(attention):
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=(1, 4, 16))
+    base = attention(Tensor(x)).numpy()
+    perturbed = x.copy()
+    perturbed[0, 3] += 5.0
+    after = attention(Tensor(perturbed)).numpy()
+    assert not np.allclose(base[0, 0], after[0, 0])
+
+
+def test_gradients_flow(attention):
+    x = Tensor(np.random.default_rng(3).normal(size=(2, 4, 16)), requires_grad=True)
+    attention(x).sum().backward()
+    assert x.grad is not None
+    assert np.all(np.isfinite(x.grad))
+
+
+def test_bidirectional_attention(attention):
+    """Token 0's output depends on later tokens (BERT-style, §III-B)."""
+    rng = np.random.default_rng(4)
+    x = rng.normal(size=(1, 4, 16))
+    base = attention(Tensor(x)).numpy()[0, 0]
+    perturbed = x.copy()
+    perturbed[0, 3] += 3.0  # change the *last* token
+    after = attention(Tensor(perturbed)).numpy()[0, 0]
+    assert not np.allclose(base, after)

@@ -1,0 +1,127 @@
+"""Module system and basic layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear, Module, Parameter, Sequential
+from repro.nn.tensor import Tensor
+
+
+def test_linear_shapes():
+    layer = Linear(4, 7)
+    out = layer(Tensor(np.ones((3, 4))))
+    assert out.shape == (3, 7)
+
+
+def test_linear_no_bias():
+    layer = Linear(4, 2, bias=False)
+    assert layer.bias is None
+    assert len(layer.parameters()) == 1
+
+
+def test_embedding_lookup_and_grad():
+    layer = Embedding(10, 4)
+    out = layer(np.array([[1, 2], [1, 9]]))
+    assert out.shape == (2, 2, 4)
+    out.sum().backward()
+    grad = layer.weight.grad
+    # Row 1 used twice, row 0 never.
+    assert np.allclose(grad[0], 0.0)
+    assert np.allclose(grad[1], 2.0)
+
+
+def test_layernorm_normalizes():
+    layer = LayerNorm(8)
+    x = Tensor(np.random.default_rng(0).normal(3.0, 5.0, size=(4, 8)))
+    out = layer(x).numpy()
+    assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+    assert np.allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+
+def test_layernorm_gradcheck_smoke():
+    layer = LayerNorm(5)
+    x = Tensor(np.random.default_rng(1).normal(size=(2, 5)), requires_grad=True)
+    layer(x).sum().backward()
+    assert x.grad is not None and np.all(np.isfinite(x.grad))
+
+
+def test_dropout_train_vs_eval():
+    layer = Dropout(0.5)
+    x = Tensor(np.ones((100, 100)))
+    layer.training = True
+    dropped = layer(x).numpy()
+    assert np.any(dropped == 0.0)
+    # Inverted dropout preserves scale in expectation.
+    assert abs(dropped.mean() - 1.0) < 0.05
+    layer.training = False
+    assert np.array_equal(layer(x).numpy(), x.numpy())
+
+
+def test_dropout_validates_probability():
+    with pytest.raises(ValueError):
+        Dropout(1.0)
+
+
+def test_named_parameters_recursion():
+    class Net(Module):
+        def __init__(self):
+            super().__init__()
+            self.first = Linear(2, 3)
+            self.blocks = [Linear(3, 3), Linear(3, 3)]
+            self.scale = Parameter(np.ones(1))
+
+    names = dict(Net().named_parameters())
+    assert "first.weight" in names
+    assert "blocks.0.weight" in names
+    assert "blocks.1.bias" in names
+    assert "scale" in names
+
+
+def test_train_eval_propagates():
+    class Net(Module):
+        def __init__(self):
+            super().__init__()
+            self.drop = Dropout(0.5)
+            self.inner = [Dropout(0.2)]
+
+    net = Net()
+    net.eval()
+    assert not net.drop.training
+    assert not net.inner[0].training
+    net.train()
+    assert net.drop.training
+
+
+def test_state_dict_roundtrip():
+    source = Linear(3, 2)
+    target = Linear(3, 2)
+    target.load_state_dict(source.state_dict())
+    assert np.array_equal(source.weight.data, target.weight.data)
+
+
+def test_state_dict_strict_mismatch():
+    layer = Linear(3, 2)
+    with pytest.raises(KeyError, match="state mismatch"):
+        layer.load_state_dict({"weight": np.zeros((3, 2))})  # missing bias
+
+
+def test_state_dict_shape_mismatch():
+    layer = Linear(3, 2)
+    bad = layer.state_dict()
+    bad["weight"] = np.zeros((4, 2))
+    with pytest.raises(ValueError, match="shape mismatch"):
+        layer.load_state_dict(bad)
+
+
+def test_zero_grad():
+    layer = Linear(2, 2)
+    layer(Tensor(np.ones((1, 2)))).sum().backward()
+    assert layer.weight.grad is not None
+    layer.zero_grad()
+    assert layer.weight.grad is None
+
+
+def test_sequential_applies_in_order():
+    net = Sequential(Linear(2, 4), lambda x: x.relu(), Linear(4, 1))
+    out = net(Tensor(np.ones((5, 2))))
+    assert out.shape == (5, 1)

@@ -1,0 +1,83 @@
+"""Loss functions: values and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import bce_with_logits_loss, cross_entropy_loss, mse_loss
+from repro.nn.tensor import Tensor
+
+
+def test_cross_entropy_uniform_logits():
+    logits = Tensor(np.zeros((4, 5)))
+    loss = cross_entropy_loss(logits, np.array([0, 1, 2, 3]))
+    assert loss.item() == pytest.approx(np.log(5.0))
+
+
+def test_cross_entropy_confident_correct_is_small():
+    logits = np.full((2, 3), -10.0)
+    logits[0, 1] = 10.0
+    logits[1, 2] = 10.0
+    loss = cross_entropy_loss(Tensor(logits), np.array([1, 2]))
+    assert loss.item() < 1e-6
+
+
+def test_cross_entropy_ignore_index():
+    logits = Tensor(np.random.default_rng(0).normal(size=(4, 3)))
+    all_ignored = cross_entropy_loss(logits, np.full(4, -100))
+    assert all_ignored.item() == 0.0
+    labels = np.array([0, -100, 2, -100])
+    partial = cross_entropy_loss(logits, labels)
+    manual = cross_entropy_loss(
+        Tensor(logits.numpy()[[0, 2]]), np.array([0, 2])
+    )
+    assert partial.item() == pytest.approx(manual.item())
+
+
+def test_cross_entropy_3d_input():
+    logits = Tensor(np.random.default_rng(1).normal(size=(2, 4, 6)))
+    labels = np.full((2, 4), -100)
+    labels[0, 1] = 3
+    loss = cross_entropy_loss(logits, labels)
+    assert np.isfinite(loss.item())
+
+
+def test_cross_entropy_extreme_logits_stable():
+    logits = Tensor(np.array([[1000.0, -1000.0]]))
+    loss = cross_entropy_loss(logits, np.array([0]))
+    assert np.isfinite(loss.item())
+    assert loss.item() < 1e-6
+
+
+def test_mse_loss():
+    preds = Tensor(np.array([1.0, 2.0, 3.0]))
+    loss = mse_loss(preds, np.array([1.0, 2.0, 5.0]))
+    assert loss.item() == pytest.approx(4.0 / 3.0)
+
+
+def test_mse_gradient():
+    preds = Tensor(np.array([2.0]), requires_grad=True)
+    mse_loss(preds, np.array([0.0])).backward()
+    assert preds.grad[0] == pytest.approx(4.0)  # d/dp (p^2) = 2p
+
+
+def test_bce_with_logits_matches_formula():
+    x = np.array([[0.5, -1.2], [2.0, 0.0]])
+    y = np.array([[1.0, 0.0], [0.0, 1.0]])
+    loss = bce_with_logits_loss(Tensor(x), y)
+    probs = 1.0 / (1.0 + np.exp(-x))
+    expected = -(y * np.log(probs) + (1 - y) * np.log(1 - probs)).mean()
+    assert loss.item() == pytest.approx(expected, rel=1e-9)
+
+
+def test_bce_extreme_logits_stable():
+    x = Tensor(np.array([[500.0, -500.0]]))
+    y = np.array([[1.0, 0.0]])
+    loss = bce_with_logits_loss(x, y)
+    assert np.isfinite(loss.item())
+    assert loss.item() < 1e-6
+
+
+def test_bce_gradient_direction():
+    x = Tensor(np.array([[0.0]]), requires_grad=True)
+    bce_with_logits_loss(x, np.array([[1.0]])).backward()
+    assert x.grad[0, 0] < 0  # increasing the logit reduces the loss

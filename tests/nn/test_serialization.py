@@ -1,0 +1,36 @@
+"""Checkpoint save/load."""
+
+import numpy as np
+
+from repro.nn.layers import Linear, Module
+from repro.nn.serialization import load_state_dict, save_state_dict
+from repro.nn.tensor import Tensor
+
+
+class _Net(Module):
+    def __init__(self):
+        super().__init__()
+        self.a = Linear(3, 4)
+        self.b = Linear(4, 2)
+
+    def forward(self, x):
+        return self.b(self.a(x).relu())
+
+
+def test_roundtrip(tmp_path):
+    source = _Net()
+    path = tmp_path / "ckpt.npz"
+    save_state_dict(source, path)
+    target = _Net()
+    # Default init is deterministic; perturb to prove loading restores it.
+    target.a.weight.data += 1.0
+    assert not np.array_equal(source.a.weight.data, target.a.weight.data)
+    load_state_dict(target, path)
+    x = Tensor(np.random.default_rng(0).normal(size=(2, 3)))
+    assert np.array_equal(source(x).numpy(), target(x).numpy())
+
+
+def test_creates_parent_dirs(tmp_path):
+    path = tmp_path / "deep" / "dir" / "ckpt.npz"
+    save_state_dict(_Net(), path)
+    assert path.exists()

@@ -1,0 +1,63 @@
+"""Encoder stack and pooler."""
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+from repro.nn.transformer import TransformerEncoder, TransformerEncoderConfig
+
+
+def _encoder(dropout=0.0, layers=2):
+    config = TransformerEncoderConfig(
+        dim=16, num_layers=layers, num_heads=4, ffn_dim=32, dropout=dropout
+    )
+    enc = TransformerEncoder(config)
+    enc.eval()
+    return enc
+
+
+def test_forward_shape():
+    enc = _encoder()
+    x = Tensor(np.random.default_rng(0).normal(size=(3, 5, 16)))
+    hidden = enc(x)
+    assert hidden.shape == (3, 5, 16)
+    pooled = enc.pool(hidden)
+    assert pooled.shape == (3, 16)
+
+
+def test_pooler_is_tanh_bounded():
+    enc = _encoder()
+    x = Tensor(np.random.default_rng(1).normal(size=(2, 4, 16)) * 10)
+    pooled = enc.pool(enc(x)).numpy()
+    assert np.all(pooled <= 1.0) and np.all(pooled >= -1.0)
+
+
+def test_deterministic_in_eval_mode():
+    enc = _encoder(dropout=0.3)
+    x = Tensor(np.random.default_rng(2).normal(size=(1, 4, 16)))
+    a = enc(x).numpy()
+    b = enc(x).numpy()
+    assert np.array_equal(a, b)
+
+
+def test_dropout_randomizes_in_train_mode():
+    enc = _encoder(dropout=0.3)
+    enc.train()
+    x = Tensor(np.random.default_rng(3).normal(size=(1, 4, 16)))
+    a = enc(x).numpy()
+    b = enc(x).numpy()
+    assert not np.array_equal(a, b)
+
+
+def test_layers_are_distinct_parameters():
+    enc = _encoder(layers=2)
+    w0 = enc.layers[0].ffn_in.weight.data
+    w1 = enc.layers[1].ffn_in.weight.data
+    assert not np.array_equal(w0, w1)
+
+
+def test_gradients_reach_all_parameters():
+    enc = _encoder()
+    x = Tensor(np.random.default_rng(4).normal(size=(2, 4, 16)), requires_grad=True)
+    enc.pool(enc(x)).sum().backward()
+    missing = [n for n, p in enc.named_parameters() if p.grad is None]
+    assert missing == []

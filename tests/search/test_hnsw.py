@@ -1,0 +1,84 @@
+"""HNSW approximate nearest-neighbour index."""
+
+import numpy as np
+import pytest
+
+from repro.search.hnsw import HnswIndex
+from repro.search.index import KnnIndex
+
+
+@pytest.fixture(scope="module")
+def clustered_data():
+    rng = np.random.default_rng(0)
+    centers = rng.normal(scale=10.0, size=(8, 16))
+    vectors = []
+    for i in range(200):
+        vectors.append(centers[i % 8] + rng.normal(scale=0.5, size=16))
+    return np.stack(vectors)
+
+
+def test_insert_and_len():
+    index = HnswIndex(dim=4)
+    for i in range(10):
+        index.insert(i, np.ones(4) * i)
+    assert len(index) == 10
+
+
+def test_dim_validation():
+    index = HnswIndex(dim=4)
+    with pytest.raises(ValueError, match="dim"):
+        index.insert("x", np.ones(3))
+
+
+def test_empty_query():
+    assert HnswIndex(dim=4).query(np.ones(4), k=3) == []
+
+
+def test_exact_match_found(clustered_data):
+    index = HnswIndex(dim=16, seed=1)
+    for i, vector in enumerate(clustered_data):
+        index.insert(i, vector)
+    hits = index.query(clustered_data[17], k=1)
+    assert hits[0][0] == 17
+    assert hits[0][1] == pytest.approx(0.0)
+
+
+def test_distances_ascending(clustered_data):
+    index = HnswIndex(dim=16, seed=1)
+    for i, vector in enumerate(clustered_data):
+        index.insert(i, vector)
+    hits = index.query(np.zeros(16), k=10)
+    distances = [d for _, d in hits]
+    assert distances == sorted(distances)
+
+
+def test_recall_against_exact(clustered_data):
+    """Recall@10 vs brute force stays high on clustered data."""
+    hnsw = HnswIndex(dim=16, m=8, ef_search=48, seed=1)
+    exact = KnnIndex(dim=16, metric="euclidean")
+    for i, vector in enumerate(clustered_data):
+        hnsw.insert(i, vector)
+        exact.add(i, vector)
+    rng = np.random.default_rng(3)
+    recalls = []
+    for _ in range(20):
+        query = clustered_data[rng.integers(len(clustered_data))] + rng.normal(
+            scale=0.2, size=16
+        )
+        truth = {key for key, _ in exact.query(query, 10)}
+        got = {key for key, _ in hnsw.query(query, 10)}
+        recalls.append(len(truth & got) / 10)
+    assert float(np.mean(recalls)) > 0.85
+
+
+def test_higher_ef_does_not_reduce_recall(clustered_data):
+    index = HnswIndex(dim=16, m=6, seed=2)
+    exact = KnnIndex(dim=16, metric="euclidean")
+    for i, vector in enumerate(clustered_data):
+        index.insert(i, vector)
+        exact.add(i, vector)
+    query = clustered_data[3]
+    truth = {key for key, _ in exact.query(query, 5)}
+    low = {key for key, _ in index.query(query, 5, ef=6)}
+    high = {key for key, _ in index.query(query, 5, ef=64)}
+    assert len(high & truth) >= len(low & truth)

@@ -1,0 +1,74 @@
+"""Exact KNN index."""
+
+import numpy as np
+import pytest
+
+from repro.search.index import KnnIndex
+
+
+def test_cosine_nearest():
+    index = KnnIndex(dim=3, metric="cosine")
+    index.add("x", np.array([1.0, 0.0, 0.0]))
+    index.add("y", np.array([0.0, 1.0, 0.0]))
+    index.add("xy", np.array([1.0, 1.0, 0.0]))
+    hits = index.query(np.array([1.0, 0.1, 0.0]), k=2)
+    assert hits[0][0] == "x"
+    assert hits[1][0] == "xy"
+
+
+def test_euclidean_nearest():
+    index = KnnIndex(dim=2, metric="euclidean")
+    for i in range(5):
+        index.add(i, np.array([float(i), 0.0]))
+    hits = index.query(np.array([2.2, 0.0]), k=3)
+    assert [k for k, _ in hits] == [2, 3, 1]
+
+
+def test_distances_sorted_ascending():
+    rng = np.random.default_rng(0)
+    index = KnnIndex(dim=8)
+    for i in range(50):
+        index.add(i, rng.normal(size=8))
+    hits = index.query(rng.normal(size=8), k=10)
+    distances = [d for _, d in hits]
+    assert distances == sorted(distances)
+
+
+def test_k_larger_than_corpus():
+    index = KnnIndex(dim=2)
+    index.add("a", np.ones(2))
+    assert len(index.query(np.ones(2), k=10)) == 1
+
+
+def test_empty_index():
+    assert KnnIndex(dim=2).query(np.ones(2), k=3) == []
+
+
+def test_zero_vector_safe():
+    index = KnnIndex(dim=2, metric="cosine")
+    index.add("zero", np.zeros(2))
+    hits = index.query(np.zeros(2), k=1)
+    assert len(hits) == 1 and np.isfinite(hits[0][1])
+
+
+def test_dim_validation():
+    index = KnnIndex(dim=3)
+    with pytest.raises(ValueError, match="dim"):
+        index.add("bad", np.ones(4))
+
+
+def test_metric_validation():
+    with pytest.raises(ValueError, match="metric"):
+        KnnIndex(dim=2, metric="manhattan")
+
+
+def test_matches_bruteforce():
+    rng = np.random.default_rng(1)
+    vectors = rng.normal(size=(30, 4))
+    index = KnnIndex(dim=4, metric="euclidean")
+    for i, vector in enumerate(vectors):
+        index.add(i, vector)
+    query = rng.normal(size=4)
+    expected = np.argsort(np.linalg.norm(vectors - query, axis=1))[:5].tolist()
+    got = [k for k, _ in index.query(query, k=5)]
+    assert got == expected

@@ -1,0 +1,63 @@
+"""Figure 6 ranking algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.search.tables import ColumnEntry, TableSearcher
+
+
+@pytest.fixture()
+def searcher():
+    """Three tables in a 4-dim space with controlled column geometry."""
+    s = TableSearcher(dim=4)
+    # Table A: two columns along axes 0 and 1.
+    s.add_table("A", ["a0", "a1"], np.array([[1, 0, 0, 0], [0, 1, 0, 0.0]]))
+    # Table B: matches both of A's columns closely.
+    s.add_table("B", ["b0", "b1"], np.array([[0.9, 0.1, 0, 0], [0.1, 0.9, 0, 0.0]]))
+    # Table C: matches only A's first column.
+    s.add_table("C", ["c0", "c1"], np.array([[0.95, 0, 0.05, 0], [0, 0, 0, 1.0]]))
+    # Table D: unrelated.
+    s.add_table("D", ["d0"], np.array([[0, 0, 1, 1.0]]))
+    return s
+
+
+def test_rank1_prefers_more_matched_columns(searcher):
+    query = np.array([[1, 0, 0, 0], [0, 1, 0, 0.0]])
+    ranked = searcher.search_tables(query, k=3, exclude_table="A")
+    assert ranked[0] == "B"  # matches 2 columns
+    assert ranked[1] == "C"  # matches 1 well
+
+
+def test_exclude_table(searcher):
+    query = np.array([[1, 0, 0, 0.0]])
+    ranked = searcher.search_tables(query, k=4, exclude_table="A")
+    assert "A" not in ranked
+
+
+def test_search_by_column_closest_first(searcher):
+    hits = searcher.search_by_column(np.array([1, 0, 0, 0.0]), k=3, exclude_table="A")
+    assert hits[0] == "C"  # c0 is the closest single column (0.95 vs 0.9)
+    assert hits[1] == "B"
+
+
+def test_column_near_tables_keeps_min_distance(searcher):
+    nearest = searcher.column_near_tables(np.array([1, 0, 0, 0.0]), k=4)
+    assert nearest["A"] == pytest.approx(0.0, abs=1e-9)
+    assert set(nearest) >= {"A", "B", "C"}
+
+
+def test_knn_columns_overfetch_factor(searcher):
+    hits = searcher.knn_columns(np.array([1, 0, 0, 0.0]), k=2)
+    assert len(hits) <= 2 * searcher.candidate_factor
+    assert isinstance(hits[0][0], ColumnEntry)
+
+
+def test_rank2_breaks_ties_by_distance():
+    s = TableSearcher(dim=2)
+    s.add_table("near", ["n0"], np.array([[1.0, 0.02]]))
+    s.add_table("far", ["f0"], np.array([[0.6, 0.8]]))
+    ranked = s.near_tables(np.array([[1.0, 0.0]]), k=2)
+    assert ranked[0][0] == "near"
+    # Both matched 1 column; the tie broke on summed distance.
+    assert ranked[0][1] == ranked[1][1] == 1
+    assert ranked[0][2] < ranked[1][2]

@@ -1,0 +1,98 @@
+"""Cross-table interaction features (the scale-down comparison primitive)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SketchSelection
+from repro.sketch import SketchConfig, sketch_table
+from repro.sketch.interactions import INTERACTION_DIM, interaction_features
+from repro.table.schema import table_from_rows
+
+
+@pytest.fixture(scope="module")
+def sketch_config():
+    return SketchConfig(num_perm=32, seed=1)
+
+
+def _entity_table(name, values, base=100):
+    rows = [[v, str(base + i)] for i, v in enumerate(values)]
+    return table_from_rows(name, ["place", "count"], rows)
+
+
+@pytest.fixture(scope="module")
+def sketches(sketch_config):
+    hasher = sketch_config.build_hasher()
+    shared = [f"velat{i}" for i in range(30)]
+    other = [f"scano{i}" for i in range(30)]
+    tables = {
+        "a": _entity_table("a", shared, base=100),
+        "overlap": _entity_table("overlap", shared[:24] + other[:6], base=100),
+        # Disjoint in the key column *and* in the numeric column.
+        "disjoint": _entity_table("disjoint", other, base=5000),
+    }
+    return {
+        name: sketch_table(t, sketch_config, hasher) for name, t in tables.items()
+    }
+
+
+def test_dimension(sketches):
+    out = interaction_features(sketches["a"], sketches["overlap"])
+    assert out.shape == (INTERACTION_DIM,)
+    assert np.all(np.isfinite(out))
+
+
+def test_overlapping_pair_scores_higher(sketches):
+    high = interaction_features(sketches["a"], sketches["overlap"])
+    low = interaction_features(sketches["a"], sketches["disjoint"])
+    # Values-MinHash max agreement (slot 1) tracks true overlap.
+    assert high[1] > low[1] + 0.3
+
+
+def test_self_pair_is_maximal(sketches):
+    self_pair = interaction_features(sketches["a"], sketches["a"])
+    assert self_pair[0] == pytest.approx(1.0)  # snapshot agreement
+    assert self_pair[1] == pytest.approx(1.0)  # best column agreement
+    assert self_pair[10] == pytest.approx(1.0)  # column-count ratio
+    assert self_pair[11] == pytest.approx(1.0)  # type matches
+
+
+def test_ablation_flags_zero_feature_groups(sketches):
+    no_minhash = interaction_features(
+        sketches["a"], sketches["a"],
+        SketchSelection(use_minhash=False, use_numeric=True, use_snapshot=True),
+    )
+    assert np.allclose(no_minhash[1:7], 0.0)
+    assert np.allclose(no_minhash[11], 0.0)
+    assert np.allclose(no_minhash[12], 0.0)  # conjunctive minhash stat gated
+    assert no_minhash[7] > 0.0  # numeric features still present
+
+    no_numeric = interaction_features(
+        sketches["a"], sketches["a"],
+        SketchSelection(use_minhash=True, use_numeric=False, use_snapshot=True),
+    )
+    assert np.allclose(no_numeric[7:10], 0.0)
+    assert np.allclose(no_numeric[13], 0.0)  # conjunctive numeric stat gated
+
+    no_snapshot = interaction_features(
+        sketches["a"], sketches["a"],
+        SketchSelection(use_minhash=True, use_numeric=True, use_snapshot=False),
+    )
+    assert no_snapshot[0] == 0.0
+
+
+def test_numeric_proximity_tracks_distributions(sketch_config):
+    hasher = sketch_config.build_hasher()
+    small = table_from_rows("s", ["v"], [[str(i)] for i in range(10, 30)])
+    similar = table_from_rows("t", ["v"], [[str(i)] for i in range(12, 32)])
+    shifted = table_from_rows("u", ["v"], [[str(i * 10000)] for i in range(10, 30)])
+    sk = lambda t: sketch_table(t, sketch_config, hasher)  # noqa: E731
+    near = interaction_features(sk(small), sk(similar))
+    far = interaction_features(sk(small), sk(shifted))
+    assert near[7] > far[7]
+
+
+def test_empty_tables_are_safe(sketch_config):
+    empty = sketch_table(table_from_rows("e", [], []), sketch_config)
+    out = interaction_features(empty, empty)
+    assert out.shape == (INTERACTION_DIM,)
+    assert np.all(out == 0.0)

@@ -1,0 +1,73 @@
+"""LSH structures: banded LSH, LSH Forest, LSH Ensemble."""
+
+import pytest
+
+from repro.sketch.lsh import LshEnsemble, LshForest, MinHashLsh
+from repro.sketch.minhash import MinHasher
+
+
+@pytest.fixture(scope="module")
+def hasher():
+    return MinHasher(num_perm=64, seed=1)
+
+
+def _sets(n_groups=4, size=40):
+    """Groups of highly-overlapping sets plus cross-group noise."""
+    out = {}
+    for g in range(n_groups):
+        base = {f"g{g}_v{i}" for i in range(size)}
+        out[f"g{g}_full"] = base
+        out[f"g{g}_most"] = set(list(base)[: int(size * 0.8)])
+        out[f"g{g}_half"] = set(list(base)[: size // 2])
+    return out
+
+
+def test_minhash_lsh_recalls_similar(hasher):
+    lsh = MinHashLsh(num_perm=64, bands=16)
+    sets = _sets()
+    sketches = {k: hasher.sketch(v) for k, v in sets.items()}
+    for key, sketch in sketches.items():
+        lsh.insert(key, sketch)
+    candidates = lsh.query(sketches["g0_full"])
+    assert "g0_most" in candidates
+    assert len(lsh) == len(sets)
+
+
+def test_minhash_lsh_band_divisibility():
+    with pytest.raises(ValueError, match="divide"):
+        MinHashLsh(num_perm=64, bands=7)
+
+
+def test_lsh_forest_topk(hasher):
+    forest = LshForest(num_perm=64, num_trees=8)
+    sets = _sets()
+    sketches = {k: hasher.sketch(v) for k, v in sets.items()}
+    for key, sketch in sketches.items():
+        forest.insert(key, sketch)
+    top = forest.query(sketches["g1_full"], k=3)
+    assert top[0] == "g1_full"  # exact self-match first
+    assert "g1_most" in top[:3]
+
+
+def test_lsh_forest_empty():
+    forest = LshForest(num_perm=16, num_trees=4)
+    assert forest.query(MinHasher(num_perm=16).sketch(["x"]), k=5) == []
+
+
+def test_lsh_forest_tree_divisibility():
+    with pytest.raises(ValueError, match="divide"):
+        LshForest(num_perm=64, num_trees=7)
+
+
+def test_lsh_ensemble_containment_ranking(hasher):
+    ensemble = LshEnsemble(num_perm=64, partitions=2)
+    query = {f"q{i}" for i in range(30)}
+    superset = query | {f"s{i}" for i in range(200)}
+    partial = set(list(query)[:12]) | {f"p{i}" for i in range(20)}
+    unrelated = {f"u{i}" for i in range(40)}
+    ensemble.insert("superset", hasher.sketch(superset), len(superset))
+    ensemble.insert("partial", hasher.sketch(partial), len(partial))
+    ensemble.insert("unrelated", hasher.sketch(unrelated), len(unrelated))
+    ranked = ensemble.query(hasher.sketch(query), len(query), k=3)
+    assert ranked and ranked[0] == "superset"
+    assert len(ensemble) == 3

@@ -1,0 +1,42 @@
+"""SimHash LSH over dense vectors (the WarpGate index)."""
+
+import numpy as np
+import pytest
+
+from repro.sketch.simhash import SimHashIndex
+
+
+def test_insert_and_query_nearest():
+    index = SimHashIndex(dim=16, bits=8, num_tables=4)
+    rng = np.random.default_rng(0)
+    base = rng.normal(size=16)
+    near = base + rng.normal(scale=0.05, size=16)
+    far = -base
+    index.insert("base", base)
+    index.insert("near", near)
+    index.insert("far", far)
+    top = index.query(base, k=2)
+    assert top[0] == "base"
+    assert top[1] == "near"
+
+
+def test_dimension_check():
+    index = SimHashIndex(dim=8)
+    with pytest.raises(ValueError, match="dim"):
+        index.insert("x", np.zeros(4))
+
+
+def test_bruteforce_fallback_for_small_buckets():
+    """When buckets under-fill, recall falls back to exhaustive search."""
+    index = SimHashIndex(dim=8, bits=16, num_tables=1)
+    rng = np.random.default_rng(1)
+    for i in range(5):
+        index.insert(f"v{i}", rng.normal(size=8))
+    assert len(index.query(rng.normal(size=8), k=5)) == 5
+
+
+def test_len(simple=3):
+    index = SimHashIndex(dim=4)
+    for i in range(simple):
+        index.insert(i, np.ones(4) * (i + 1))
+    assert len(index) == simple

@@ -1,0 +1,44 @@
+"""CSV round-trips without pandas."""
+
+from repro.table.csvio import read_csv, read_csv_text, write_csv
+from repro.table.schema import table_from_rows
+
+
+def test_read_csv_text_basic():
+    table = read_csv_text("a,b\n1,2\n3,4\n", name="t")
+    assert table.header == ["a", "b"]
+    assert table.shape == (2, 2)
+
+
+def test_ragged_rows_padded_and_truncated():
+    table = read_csv_text("a,b,c\n1,2\n1,2,3,4\n")
+    assert table.row(0) == ["1", "2", ""]
+    assert table.row(1) == ["1", "2", "3"]
+
+
+def test_quoted_cells():
+    table = read_csv_text('a,b\n"x, y",2\n')
+    assert table.row(0) == ["x, y", "2"]
+
+
+def test_empty_text():
+    table = read_csv_text("")
+    assert table.n_cols == 0
+
+
+def test_roundtrip(tmp_path, city_table):
+    path = tmp_path / "cities.csv"
+    write_csv(city_table, path)
+    loaded = read_csv(path)
+    assert loaded.name == "cities"
+    assert loaded.header == city_table.header
+    assert [list(r) for r in loaded.rows()] == [list(r) for r in city_table.rows()]
+
+
+def test_roundtrip_preserves_empty_cells(tmp_path):
+    table = table_from_rows("t", ["a", "b"], [["", "x"], ["y", ""]])
+    path = tmp_path / "t.csv"
+    write_csv(table, path)
+    loaded = read_csv(path)
+    assert loaded.row(0) == ["", "x"]
+    assert loaded.row(1) == ["y", ""]

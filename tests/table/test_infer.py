@@ -1,0 +1,76 @@
+"""Type inference follows the paper's first-10-values rule."""
+
+from hypothesis import given, strategies as st
+
+from repro.table.infer import infer_column_type, numeric_view, parse_date, to_float
+from repro.table.schema import ColumnType
+
+
+def test_integer_column():
+    assert infer_column_type(["1", "22", "-3"]) == ColumnType.INTEGER
+
+
+def test_float_column():
+    assert infer_column_type(["1.5", "2.25", "1e3"]) == ColumnType.FLOAT
+
+
+def test_integers_are_valid_floats_but_typed_integer():
+    assert infer_column_type(["1", "2"]) == ColumnType.INTEGER
+
+
+def test_date_column():
+    assert infer_column_type(["2020-01-01", "2021-12-31"]) == ColumnType.DATE
+
+
+def test_mixed_defaults_to_string():
+    assert infer_column_type(["2020-01-01", "hello"]) == ColumnType.STRING
+
+
+def test_only_first_ten_values_matter():
+    values = ["1"] * 10 + ["not a number"]
+    assert infer_column_type(values) == ColumnType.INTEGER
+
+
+def test_empty_and_null_only_is_string():
+    assert infer_column_type([]) == ColumnType.STRING
+    assert infer_column_type(["", "nan"]) == ColumnType.STRING
+
+
+def test_bare_year_column_is_integer_not_date():
+    # Years parse as dates value-wise but columns of ints stay integers.
+    assert infer_column_type(["1990", "2001"]) == ColumnType.INTEGER
+    assert parse_date("1990") is not None
+
+
+def test_parse_date_formats():
+    assert parse_date("2020-06-15") is not None
+    assert parse_date("15/06/2020") is not None
+    assert parse_date("Jun 15, 2020") is not None
+    assert parse_date("not a date") is None
+    assert parse_date("123456") is None  # 6 digits: not a year
+
+
+def test_parse_date_ordering():
+    assert parse_date("2021-01-01") > parse_date("2020-01-01")
+
+
+def test_to_float():
+    assert to_float("1,234.5") == 1234.5
+    assert to_float("-2e3") == -2000.0
+    assert to_float("abc") is None
+    assert to_float("") is None
+
+
+def test_numeric_view_dates_become_timestamps():
+    stamps = numeric_view(["2020-01-01", "bad", "2021-01-01"], ColumnType.DATE)
+    assert len(stamps) == 2
+    assert stamps[1] > stamps[0]
+
+
+def test_numeric_view_drops_unparseable():
+    assert numeric_view(["1", "x", "3"], ColumnType.INTEGER) == [1.0, 3.0]
+
+
+@given(st.lists(st.integers(min_value=-10**9, max_value=10**9), min_size=1, max_size=10))
+def test_integer_lists_always_infer_integer(values):
+    assert infer_column_type([str(v) for v in values]) == ColumnType.INTEGER

@@ -1,0 +1,68 @@
+"""Table/Column data model invariants."""
+
+import pytest
+
+from repro.table.schema import Column, ColumnType, Table, is_null, table_from_rows
+
+
+def test_table_shape(city_table):
+    assert city_table.shape == (5, 3)
+    assert city_table.header == ["city", "population", "founded"]
+
+
+def test_ragged_columns_rejected():
+    with pytest.raises(ValueError, match="ragged"):
+        Table("bad", [Column("a", ["1", "2"]), Column("b", ["1"])])
+
+
+def test_row_access(city_table):
+    assert city_table.row(0) == ["vienna", "1900000", "1156"]
+    assert len(list(city_table.rows(limit=2))) == 2
+
+
+def test_column_lookup(city_table):
+    assert city_table.column("city").name == "city"
+    with pytest.raises(KeyError):
+        city_table.column("missing")
+
+
+def test_table_from_rows_validates_width():
+    with pytest.raises(ValueError, match="cells"):
+        table_from_rows("t", ["a", "b"], [["1"]])
+
+
+def test_with_columns_preserves_metadata(city_table):
+    city_table.metadata["domain"] = "municipality"
+    derived = city_table.with_columns(city_table.columns[:2], name="copy")
+    assert derived.name == "copy"
+    assert derived.metadata["domain"] == "municipality"
+    assert derived.n_cols == 2
+
+
+def test_null_markers():
+    for marker in ("", "nan", "NULL", "n/a", "-", "?", "  "):
+        assert is_null(marker)
+    assert not is_null("0")
+    assert not is_null("vienna")
+
+
+def test_non_null_and_distinct(mixed_table):
+    amount = mixed_table.column("amount")
+    assert amount.non_null_values() == ["10.5", "20.25", "7.75"]
+    code = mixed_table.column("code")
+    assert code.distinct_values() == {"A1", "B2", "C3"}
+
+
+def test_column_type_enum_values():
+    # These integers are embedding indices (Fig. 1): do not renumber.
+    assert int(ColumnType.STRING) == 1
+    assert int(ColumnType.INTEGER) == 2
+    assert int(ColumnType.FLOAT) == 3
+    assert int(ColumnType.DATE) == 4
+    assert ColumnType.DATE.is_numeric
+    assert not ColumnType.STRING.is_numeric
+
+
+def test_non_string_cells_coerced():
+    column = Column("n", [1, 2.5, "x"])
+    assert column.values == ["1", "2.5", "x"]

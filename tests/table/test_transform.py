@@ -1,0 +1,84 @@
+"""Row/column transforms and the Fig. 7 subset-variant protocol."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.table.schema import table_from_rows
+from repro.table.transform import (
+    SUBSET_GRID,
+    project_columns,
+    sample_columns,
+    sample_rows,
+    shuffle_columns,
+    shuffle_rows,
+    subset_variants,
+)
+
+
+@pytest.fixture()
+def wide_table():
+    rows = [[f"r{i}c{j}" for j in range(6)] for i in range(20)]
+    return table_from_rows("wide", [f"col{j}" for j in range(6)], rows)
+
+
+def test_project_columns(wide_table):
+    projected = project_columns(wide_table, [2, 0])
+    assert projected.header == ["col2", "col0"]
+
+
+def test_sample_rows_fraction(wide_table, rng):
+    sampled = sample_rows(wide_table, 0.5, rng)
+    assert sampled.n_rows == 10
+    original_col0 = set(wide_table.columns[0].values)
+    assert set(sampled.columns[0].values) <= original_col0
+
+
+def test_sample_rows_keeps_row_alignment(wide_table, rng):
+    sampled = sample_rows(wide_table, 0.3, rng)
+    originals = {tuple(r) for r in wide_table.rows()}
+    for row in sampled.rows():
+        assert tuple(row) in originals
+
+
+def test_sample_columns(wide_table, rng):
+    sampled = sample_columns(wide_table, 0.5, rng)
+    assert sampled.n_cols == 3
+    assert set(sampled.header) <= set(wide_table.header)
+
+
+def test_shuffle_rows_preserves_multiset(wide_table, rng):
+    shuffled = shuffle_rows(wide_table, rng)
+    assert sorted(map(tuple, shuffled.rows())) == sorted(map(tuple, wide_table.rows()))
+
+
+def test_shuffle_columns_preserves_columns(wide_table, rng):
+    shuffled = shuffle_columns(wide_table, rng)
+    assert sorted(shuffled.header) == sorted(wide_table.header)
+    for name in wide_table.header:
+        assert shuffled.column(name).values == wide_table.column(name).values
+
+
+def test_subset_variants_protocol(wide_table, rng):
+    variants = subset_variants(wide_table, rng)
+    assert len(variants) == 11  # 9 grid + 2 shuffles (Fig. 7)
+    tags = [tag for tag, _ in variants]
+    assert "shuffle_rows" in tags and "shuffle_cols" in tags
+    assert len(SUBSET_GRID) == 9
+    for tag, variant in variants:
+        if tag.startswith("r"):
+            assert variant.n_rows <= wide_table.n_rows
+            assert variant.n_cols <= wide_table.n_cols
+            # Every variant cell must come from the original table.
+            for column in variant.columns:
+                assert set(column.values) <= set(
+                    wide_table.column(column.name).values
+                )
+
+
+@settings(max_examples=20, deadline=None)
+@given(fraction=st.floats(min_value=0.05, max_value=1.0))
+def test_sample_rows_never_empty(fraction):
+    table = table_from_rows("t", ["a"], [[str(i)] for i in range(7)])
+    sampled = sample_rows(table, fraction, np.random.default_rng(0))
+    assert 1 <= sampled.n_rows <= 7

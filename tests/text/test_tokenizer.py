@@ -1,0 +1,109 @@
+"""WordPiece tokenizer: training, greedy matching, round-trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.text.tokenizer import (
+    SPECIAL_TOKENS,
+    Vocabulary,
+    WordPieceTokenizer,
+    basic_tokenize,
+    train_vocabulary,
+)
+
+CORPUS = [
+    "residential properties in vienna",
+    "reference area and population",
+    "population of vienna and graz",
+    "residential reference data",
+    "area population residential",
+] * 3
+
+
+@pytest.fixture(scope="module")
+def tokenizer():
+    return WordPieceTokenizer.train(CORPUS, vocab_size=400)
+
+
+def test_basic_tokenize_lowercases_and_splits():
+    assert basic_tokenize("Vienna, Graz!") == ["vienna", ",", "graz", "!"]
+    assert basic_tokenize("GDP2020") == ["gdp2020"]
+
+
+def test_special_tokens_at_fixed_ids(tokenizer):
+    vocab = tokenizer.vocabulary
+    assert vocab.pad_id == 0
+    assert vocab.unk_id == 1
+    assert vocab.cls_id == 2
+    assert vocab.sep_id == 3
+    assert vocab.mask_id == 4
+
+
+def test_vocabulary_rejects_wrong_prefix():
+    with pytest.raises(ValueError, match="must start"):
+        Vocabulary(["[PAD]", "[CLS]", "[UNK]", "[SEP]", "[MASK]"])
+
+
+def test_vocabulary_rejects_duplicates():
+    with pytest.raises(ValueError, match="duplicate"):
+        Vocabulary(list(SPECIAL_TOKENS) + ["x", "x"])
+
+
+def test_frequent_words_become_single_tokens(tokenizer):
+    # "population" appears often: the merges should assemble it fully.
+    pieces = tokenizer.tokenize_word("population")
+    assert len(pieces) <= 3
+
+
+def test_unseen_word_splits_into_pieces(tokenizer):
+    pieces = tokenizer.tokenize_word("reside")
+    assert all(
+        p in tokenizer.vocabulary or p == "[UNK]" for p in pieces
+    )
+
+
+def test_uncoverable_word_is_unk(tokenizer):
+    assert tokenizer.tokenize_word("öffnung") == ["[UNK]"]
+
+
+def test_overlong_word_is_unk(tokenizer):
+    assert tokenizer.tokenize_word("a" * 100) == ["[UNK]"]
+
+
+def test_continuation_pieces_prefixed(tokenizer):
+    pieces = tokenizer.tokenize("vienna")
+    assert not pieces[0].startswith("##")
+    for piece in pieces[1:]:
+        assert piece.startswith("##")
+
+
+def test_encode_decode_roundtrip(tokenizer):
+    text = "population of vienna"
+    assert tokenizer.decode(tokenizer.encode(text)) == text
+
+
+def test_decode_skips_special_tokens(tokenizer):
+    vocab = tokenizer.vocabulary
+    ids = [vocab.cls_id] + tokenizer.encode("vienna") + [vocab.sep_id]
+    assert tokenizer.decode(ids) == "vienna"
+
+
+def test_min_frequency_prunes_rare_merges():
+    vocab = train_vocabulary(["abc"], vocab_size=1000, min_frequency=2)
+    # "abc" seen once: no merges, only chars survive.
+    assert "abc" not in vocab
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.text(alphabet="abcdefghij ", min_size=1, max_size=30))
+def test_roundtrip_property(text):
+    """Words over the trained alphabet always round-trip through decode.
+
+    The training corpus exposes every character both word-initially and as a
+    continuation, so any word over the alphabet is coverable.
+    """
+    corpus = ["abcdefghij", "jihgfedcba", "aa bb cc dd ee ff gg hh ii jj"]
+    tokenizer = WordPieceTokenizer.train(corpus * 2, vocab_size=100, min_frequency=1)
+    words = basic_tokenize(text)
+    decoded = tokenizer.decode(tokenizer.encode(text))
+    assert decoded == " ".join(words)

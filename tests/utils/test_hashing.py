@@ -1,0 +1,45 @@
+"""Stability and distribution properties of the hashing utilities."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.utils.hashing import combine_hashes, hash_bytes, hash_string, hash_strings
+
+
+def test_hash_string_is_deterministic():
+    assert hash_string("vienna") == hash_string("vienna")
+
+
+def test_known_fnv_vector():
+    # FNV-1a 64-bit of empty input is the offset basis.
+    assert hash_bytes(b"") == 0xCBF29CE484222325
+
+
+def test_different_strings_differ():
+    assert hash_string("vienna") != hash_string("graz")
+
+
+def test_hash_strings_batch_matches_scalar():
+    texts = ["a", "b", "vienna", ""]
+    batch = hash_strings(texts)
+    assert batch.dtype == np.uint64
+    assert [int(h) for h in batch] == [hash_string(t) for t in texts]
+
+
+@given(st.text(max_size=50))
+def test_hash_fits_in_64_bits(text):
+    assert 0 <= hash_string(text) < 2**64
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**64 - 1), min_size=1, max_size=8))
+def test_combine_hashes_deterministic_and_order_sensitive(hashes):
+    assert combine_hashes(hashes) == combine_hashes(hashes)
+    if len(set(hashes)) > 1:
+        reversed_combined = combine_hashes(list(reversed(hashes)))
+        # Order sensitivity: overwhelmingly different unless palindromic.
+        if hashes != list(reversed(hashes)):
+            assert combine_hashes(hashes) != reversed_combined
+
+
+def test_unicode_handling():
+    assert hash_string("münchen") != hash_string("munchen")

@@ -1,0 +1,25 @@
+"""JSON helpers round-trip including numpy payloads."""
+
+import numpy as np
+
+from repro.utils.io import ensure_dir, read_json, write_json
+
+
+def test_ensure_dir_creates_nested(tmp_path):
+    target = tmp_path / "a" / "b" / "c"
+    result = ensure_dir(target)
+    assert result.is_dir()
+
+
+def test_json_roundtrip(tmp_path):
+    path = tmp_path / "out" / "payload.json"
+    payload = {"rows": [1, 2, 3], "name": "bench"}
+    write_json(path, payload)
+    assert read_json(path) == payload
+
+
+def test_json_numpy_values(tmp_path):
+    path = tmp_path / "np.json"
+    write_json(path, {"arr": np.arange(3), "scalar": np.float64(1.5)})
+    loaded = read_json(path)
+    assert loaded == {"arr": [0, 1, 2], "scalar": 1.5}
