@@ -14,6 +14,31 @@ from pathlib import Path
 
 RESULTS = Path(__file__).resolve().parent.parent / "results"
 
+#: Registered experiments, in presentation order: the paper tables/figures
+#: first, then the systems benches. Unregistered result files are appended
+#: alphabetically so nothing is silently dropped.
+EXPERIMENT_ORDER = [
+    "table1_datasets",
+    "table2_lakebench",
+    "table3_ablation_only",
+    "table4_ablation_remove",
+    "table5_wikijoin_search",
+    "table6_santos_union",
+    "table7_tus_union",
+    "table8_eurostat_subset",
+    "fig8_transfer",
+    "pretraining_stats",
+    "sketch_micro",
+    "lake_service",
+]
+
+
+def _order_key(path: Path) -> tuple[int, str]:
+    for rank, stem in enumerate(EXPERIMENT_ORDER):
+        if stem in path.stem:
+            return (rank, path.stem)
+    return (len(EXPERIMENT_ORDER), path.stem)
+
 
 def markdown_table(rows: list[dict]) -> str:
     keys: list[str] = []
@@ -32,7 +57,7 @@ def markdown_table(rows: list[dict]) -> str:
 
 def main() -> None:
     selector = sys.argv[1] if len(sys.argv) > 1 else ""
-    paths = sorted(RESULTS.glob("*.json"))
+    paths = sorted(RESULTS.glob("*.json"), key=_order_key)
     if not paths:
         print(f"no results in {RESULTS}; run `pytest benchmarks/ --benchmark-only`")
         return

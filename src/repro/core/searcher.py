@@ -35,20 +35,79 @@ class TabSketchFMSearcher:
         sketches: dict[str, TableSketch],
         sbert: HashedSentenceEncoder | None = None,
         name: str | None = None,
+        precomputed: dict[str, list[tuple[str, np.ndarray]]] | None = None,
     ):
+        """Index ``sketches`` for retrieval.
+
+        With ``precomputed`` (table -> ordered ``(column, vector)`` list, as
+        produced by a warm :class:`repro.lake.store.LakeStore`), the given
+        vectors are indexed as-is and the trunk is never run — the offline
+        index / online query split the paper recommends for deployment.
+        """
         self.embedder = embedder
-        self.tables = tables
-        self.sketches = sketches
+        # Defensive copies: incremental add/remove must never mutate the
+        # caller's corpus dicts.
+        self.tables = dict(tables)
+        self.sketches = dict(sketches)
         self.sbert = sbert
         self.name = name or ("TabSketchFM-SBERT" if sbert else "TabSketchFM")
         dim = embedder.dim + (sbert.dim if sbert else 0)
         self.searcher = TableSearcher(dim)
         self._column_vectors: dict[tuple[str, str], np.ndarray] = {}
-        for table_name, sketch in sketches.items():
+        for table_name, sketch in self.sketches.items():
+            if precomputed is not None and table_name in precomputed:
+                vectors = precomputed[table_name]
+            else:
+                vectors = self._table_column_vectors(table_name, sketch)
+            self._index_vectors(table_name, vectors)
+
+    # ------------------------------------------------------------------ #
+    def _index_vectors(
+        self, table_name: str, vectors: list[tuple[str, np.ndarray]]
+    ) -> None:
+        self.searcher.add_table(
+            table_name,
+            [column_name for column_name, _ in vectors],
+            [vector for _, vector in vectors],
+        )
+        for column_name, vector in vectors:
+            self._column_vectors[(table_name, column_name)] = np.asarray(
+                vector, dtype=np.float64
+            )
+
+    def add_table(
+        self,
+        table_name: str,
+        table: Table | None,
+        sketch: TableSketch,
+        vectors: list[tuple[str, np.ndarray]] | None = None,
+    ) -> None:
+        """Incrementally (re-)index one table, embedding it unless
+        ``vectors`` are supplied; no other table is touched.
+
+        Vectors are computed *before* any removal so a replace-in-place
+        either succeeds or leaves the old entry intact.
+        """
+        if table is not None:
+            self.tables[table_name] = table
+        if vectors is None:
             vectors = self._table_column_vectors(table_name, sketch)
-            for column_name, vector in vectors:
-                self.searcher.add_column(table_name, column_name, vector)
-                self._column_vectors[(table_name, column_name)] = vector
+        if table_name in self.sketches or self.searcher.has_table(table_name):
+            kept_table = self.tables.get(table_name)
+            self.remove_table(table_name)
+            if kept_table is not None:
+                self.tables[table_name] = kept_table
+        self.sketches[table_name] = sketch
+        self._index_vectors(table_name, vectors)
+
+    def remove_table(self, table_name: str) -> None:
+        """Incrementally drop one table from the index."""
+        sketch = self.sketches.pop(table_name, None)
+        self.tables.pop(table_name, None)
+        if sketch is not None:
+            for column_sketch in sketch.column_sketches:
+                self._column_vectors.pop((table_name, column_sketch.name), None)
+        self.searcher.remove_table(table_name)
 
     # ------------------------------------------------------------------ #
     def _table_column_vectors(
@@ -56,7 +115,9 @@ class TabSketchFMSearcher:
     ) -> list[tuple[str, np.ndarray]]:
         embeddings = self.embedder.column_embeddings(sketch)
         out: list[tuple[str, np.ndarray]] = []
-        table = self.tables[table_name]
+        # Raw cell values are only needed for the SBERT half; sketch-only
+        # indexing works without the Table object (e.g. warm-store paths).
+        table = self.tables[table_name] if self.sbert is not None else None
         for index, column_sketch in enumerate(sketch.column_sketches):
             vector = embeddings[index]
             if self.sbert is not None:

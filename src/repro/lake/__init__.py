@@ -1,0 +1,40 @@
+"""`repro.lake` — a persistent, incrementally-updatable data-lake service.
+
+The paper's deployment recipe: "we recommend indexing the datalake offline
+and at query time only compute embeddings for the query table." This package
+is that serving substrate:
+
+- :mod:`repro.lake.serialization` — sketches <-> npz/JSON artifacts, plus
+  config fingerprinting so stale artifacts are detected, never silently
+  reused;
+- :mod:`repro.lake.store` — :class:`LakeStore`, the on-disk layout (one npz
+  per table + a JSON manifest);
+- :mod:`repro.lake.bundle` — model/tokenizer persistence so a warm process
+  can embed *query* tables identically to the one that built the lake;
+- :mod:`repro.lake.catalog` — :class:`LakeCatalog`, add/remove/update with
+  incremental index maintenance (a 1-table delta re-embeds only that table);
+- :mod:`repro.lake.service` — :class:`LakeService`, the thread-safe query
+  facade (join/union/subset, batching, LRU query-embedding cache);
+- ``python -m repro.lake`` — the ingest/query/stats CLI.
+"""
+
+from repro.lake.catalog import LakeCatalog
+from repro.lake.serialization import (
+    FingerprintMismatchError,
+    config_fingerprint,
+    pack_table_sketch,
+    unpack_table_sketch,
+)
+from repro.lake.service import LakeService
+from repro.lake.store import LakeStore, LakeTableRecord
+
+__all__ = [
+    "FingerprintMismatchError",
+    "LakeCatalog",
+    "LakeService",
+    "LakeStore",
+    "LakeTableRecord",
+    "config_fingerprint",
+    "pack_table_sketch",
+    "unpack_table_sketch",
+]

@@ -1,0 +1,190 @@
+"""CLI for the standing-lake service: ``python -m repro.lake <command>``.
+
+Commands::
+
+    ingest  --lake LAKE --csv-dir DIR   # build or incrementally extend a lake
+    query   --lake LAKE (--table NAME | --csv FILE) [--mode union|join|subset]
+    remove  --lake LAKE --table NAME    # drop one table (incremental)
+    stats   --lake LAKE                 # catalog + store statistics
+
+``ingest`` on a fresh directory trains the WordPiece vocabulary on the CSV
+corpus, builds the trunk, and persists model + vocab + artifacts. On an
+existing lake it warm-loads the bundle and embeds *only* CSVs not already
+in the catalog — the offline-index / online-query split of §V.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.config import TabSketchFMConfig
+from repro.core.embed import TableEmbedder
+from repro.core.inputs import InputEncoder
+from repro.core.model import TabSketchFM
+from repro.lake.bundle import has_bundle, load_bundle, save_bundle
+from repro.lake.catalog import LakeCatalog
+from repro.lake.serialization import FingerprintMismatchError, config_fingerprint
+from repro.lake.service import LakeService
+from repro.lake.store import LakeStore
+from repro.sketch.pipeline import SketchConfig
+from repro.table.csvio import read_csv
+from repro.text.sbert import HashedSentenceEncoder
+from repro.text.tokenizer import WordPieceTokenizer
+
+
+def _load_service(lake: str) -> LakeService:
+    """Warm-load a lake directory into a ready service (no re-embedding)."""
+    if not has_bundle(lake):
+        sys.exit(f"error: {lake!r} is not an ingested lake (run `ingest` first)")
+    model, encoder, sbert = load_bundle(lake)
+    fingerprint = config_fingerprint(model.config, sbert=sbert, model=model)
+    store = LakeStore.open(lake, expected_fingerprint=fingerprint)
+    catalog = LakeCatalog.from_store(TableEmbedder(model, encoder), store, sbert=sbert)
+    return LakeService(catalog)
+
+
+def _read_csv_dir(csv_dir: str) -> list:
+    paths = sorted(Path(csv_dir).glob("*.csv"))
+    if not paths:
+        sys.exit(f"error: no *.csv files under {csv_dir!r}")
+    return [read_csv(path) for path in paths]
+
+
+# --------------------------------------------------------------------- #
+def cmd_ingest(args: argparse.Namespace) -> None:
+    tables = _read_csv_dir(args.csv_dir)
+    started = time.perf_counter()
+    if has_bundle(args.lake):
+        service = _load_service(args.lake)
+        catalog = service.catalog
+        print(f"warm lake: {len(catalog)} tables already indexed")
+    else:
+        texts: list[str] = []
+        for table in tables:
+            texts.append(table.description)
+            texts.extend(table.header)
+        tokenizer = WordPieceTokenizer.train(texts, vocab_size=args.vocab_size)
+        config = TabSketchFMConfig(
+            vocab_size=len(tokenizer.vocabulary),
+            dim=args.dim,
+            num_layers=args.layers,
+            num_heads=args.heads,
+            ffn_dim=2 * args.dim,
+            dropout=0.0,
+            sketch=SketchConfig(num_perm=args.num_perm, seed=args.sketch_seed),
+            seed=args.seed,
+        )
+        model = TabSketchFM(config)
+        encoder = InputEncoder(config, tokenizer)
+        sbert = HashedSentenceEncoder(dim=args.sbert_dim) if args.sbert_dim else None
+        save_bundle(args.lake, model, tokenizer, sbert=sbert)
+        fingerprint = config_fingerprint(config, sbert=sbert, model=model)
+        store = LakeStore(args.lake, fingerprint)
+        catalog = LakeCatalog(TableEmbedder(model, encoder), sbert=sbert, store=store)
+        print(f"new lake at {args.lake} (fingerprint {fingerprint})")
+    fresh = {t.name: t for t in tables if t.name not in catalog}
+    skipped = len(tables) - len(fresh)
+    catalog.add_tables(fresh)
+    added = len(fresh)
+    elapsed = time.perf_counter() - started
+    print(
+        f"ingested {added} tables ({skipped} already present) in {elapsed:.2f}s; "
+        f"catalog now {len(catalog)} tables / "
+        f"{catalog.stats()['n_columns']} columns"
+    )
+
+
+def cmd_query(args: argparse.Namespace) -> None:
+    service = _load_service(args.lake)
+    if args.csv:
+        query = read_csv(args.csv)
+    else:
+        query = args.table
+    started = time.perf_counter()
+    results = service.query(query, mode=args.mode, k=args.k, column=args.column)
+    elapsed = 1000.0 * (time.perf_counter() - started)
+    name = query if isinstance(query, str) else query.name
+    print(f"{args.mode} results for {name!r} (k={args.k}, {elapsed:.1f}ms):")
+    for rank, table in enumerate(results, start=1):
+        print(f"  {rank:2d}. {table}")
+    if not results:
+        print("  (no matches)")
+
+
+def cmd_remove(args: argparse.Namespace) -> None:
+    service = _load_service(args.lake)
+    if service.remove_table(args.table):
+        print(f"removed {args.table!r}; {len(service.catalog)} tables remain")
+    else:
+        sys.exit(f"error: table {args.table!r} not in catalog")
+
+
+def cmd_stats(args: argparse.Namespace) -> None:
+    service = _load_service(args.lake)
+    print(json.dumps(service.stats(), indent=2, sort_keys=True))
+
+
+# --------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lake",
+        description="Persistent TabSketchFM data-lake service",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    ingest = sub.add_parser("ingest", help="build or extend a lake from CSVs")
+    ingest.add_argument("--lake", required=True, help="lake directory")
+    ingest.add_argument("--csv-dir", required=True, help="directory of *.csv files")
+    ingest.add_argument("--num-perm", type=int, default=32)
+    ingest.add_argument("--sketch-seed", type=int, default=1)
+    ingest.add_argument("--dim", type=int, default=32)
+    ingest.add_argument("--layers", type=int, default=1)
+    ingest.add_argument("--heads", type=int, default=2)
+    ingest.add_argument("--seed", type=int, default=0)
+    ingest.add_argument("--vocab-size", type=int, default=1500)
+    ingest.add_argument(
+        "--sbert-dim", type=int, default=0,
+        help="enable the TabSketchFM-SBERT variant with this value-encoder dim",
+    )
+    ingest.set_defaults(func=cmd_ingest)
+
+    query = sub.add_parser("query", help="answer one discovery query")
+    query.add_argument("--lake", required=True)
+    group = query.add_mutually_exclusive_group(required=True)
+    group.add_argument("--table", help="name of a table already in the lake")
+    group.add_argument("--csv", help="path to an external query CSV")
+    query.add_argument("--mode", choices=("join", "union", "subset"), default="union")
+    query.add_argument("-k", type=int, default=10)
+    query.add_argument("--column", help="query column for join mode")
+    query.set_defaults(func=cmd_query)
+
+    remove = sub.add_parser("remove", help="drop one table from the lake")
+    remove.add_argument("--lake", required=True)
+    remove.add_argument("--table", required=True)
+    remove.set_defaults(func=cmd_remove)
+
+    stats = sub.add_parser("stats", help="print catalog + store statistics")
+    stats.add_argument("--lake", required=True)
+    stats.set_defaults(func=cmd_stats)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> None:
+    args = build_parser().parse_args(argv)
+    try:
+        args.func(args)
+    except (KeyError, ValueError) as exc:
+        # Expected user-facing failures (unknown table/column/mode) — print
+        # the message, not a traceback.
+        message = exc.args[0] if exc.args else str(exc)
+        sys.exit(f"error: {message}")
+    except FingerprintMismatchError as exc:
+        sys.exit(f"error: {exc}")
+
+
+if __name__ == "__main__":
+    main()

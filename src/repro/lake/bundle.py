@@ -1,0 +1,96 @@
+"""Persist the embedding stack alongside a lake store.
+
+A warm process must embed *query* tables exactly like the process that built
+the lake, so the store root also carries the trunk config, trunk weights,
+WordPiece vocabulary, and frozen text-encoder settings::
+
+    <root>/model_config.json   # TabSketchFMConfig (+ sbert settings)
+    <root>/model.npz           # trunk state_dict
+    <root>/vocab.json          # tokenizer vocabulary + max_word_chars
+
+``load_bundle`` rebuilds ``(model, encoder, sbert)`` and its fingerprint is
+re-derived from the *loaded* objects, so any corruption or hand-editing of
+the artifacts surfaces as a :class:`FingerprintMismatchError` at open time.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.core.config import SketchSelection, TabSketchFMConfig
+from repro.core.inputs import InputEncoder
+from repro.core.model import TabSketchFM
+from repro.nn.serialization import load_state_dict, save_state_dict
+from repro.sketch.pipeline import SketchConfig
+from repro.text.sbert import HashedSentenceEncoder
+from repro.text.tokenizer import Vocabulary, WordPieceTokenizer
+from repro.utils.io import read_json, write_json
+
+CONFIG_NAME = "model_config.json"
+WEIGHTS_NAME = "model.npz"
+VOCAB_NAME = "vocab.json"
+
+
+def save_bundle(
+    root: str | os.PathLike,
+    model: TabSketchFM,
+    tokenizer: WordPieceTokenizer,
+    sbert: HashedSentenceEncoder | None = None,
+) -> None:
+    """Write config + weights + vocabulary next to the lake artifacts."""
+    root = Path(root)
+    payload = {
+        "model_config": asdict(model.config),
+        "sbert": None
+        if sbert is None
+        else {
+            "dim": sbert.dim,
+            "ngram": sbert.ngram,
+            "use_ngrams": sbert.use_ngrams,
+            "positional": sbert.positional,
+        },
+    }
+    write_json(root / CONFIG_NAME, payload)
+    save_state_dict(model, root / WEIGHTS_NAME)
+    write_json(
+        root / VOCAB_NAME,
+        {
+            "tokens": tokenizer.vocabulary.tokens,
+            "max_word_chars": tokenizer.max_word_chars,
+        },
+    )
+
+
+def _config_from_dict(raw: dict) -> TabSketchFMConfig:
+    raw = dict(raw)
+    raw["sketch"] = SketchConfig(**raw["sketch"])
+    raw["selection"] = SketchSelection(**raw["selection"])
+    return TabSketchFMConfig(**raw)
+
+
+def load_bundle(
+    root: str | os.PathLike,
+) -> tuple[TabSketchFM, InputEncoder, HashedSentenceEncoder | None]:
+    """Rebuild the embedding stack saved by :func:`save_bundle`."""
+    root = Path(root)
+    payload = read_json(root / CONFIG_NAME)
+    config = _config_from_dict(payload["model_config"])
+    model = TabSketchFM(config)
+    load_state_dict(model, root / WEIGHTS_NAME)
+    vocab = read_json(root / VOCAB_NAME)
+    tokenizer = WordPieceTokenizer(
+        Vocabulary(vocab["tokens"]), max_word_chars=vocab["max_word_chars"]
+    )
+    encoder = InputEncoder(config, tokenizer)
+    sbert_raw = payload.get("sbert")
+    sbert = None if sbert_raw is None else HashedSentenceEncoder(**sbert_raw)
+    return model, encoder, sbert
+
+
+def has_bundle(root: str | os.PathLike) -> bool:
+    root = Path(root)
+    return all(
+        (root / name).exists() for name in (CONFIG_NAME, WEIGHTS_NAME, VOCAB_NAME)
+    )

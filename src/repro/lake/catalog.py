@@ -1,0 +1,173 @@
+"""`LakeCatalog` — the mutable registry of an indexed lake.
+
+Holds every table's :class:`LakeTableRecord` plus the live column index
+(:class:`repro.search.tables.TableSearcher`), and keeps both in sync under
+``add_table`` / ``remove_table`` / ``update_table``:
+
+- an **add** sketches and embeds *only the new table* and bulk-appends its
+  column rows to the index (amortized O(cols) — no re-stack of the lake);
+- a **remove** compacts the index in one pass and never touches the trunk;
+- attached to a :class:`~repro.lake.store.LakeStore`, every mutation is
+  persisted immediately, so the on-disk lake is always warm-loadable.
+
+``embed_calls`` counts trunk invocations — the observable guarantee that a
+1-table delta re-embeds one table and a warm load re-embeds none.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.embed import TableEmbedder, concat_normalized
+from repro.lake.store import LakeStore, LakeTableRecord
+from repro.search.tables import TableSearcher
+from repro.sketch.pipeline import TableSketch, sketch_table
+from repro.table.schema import Table
+from repro.text.sbert import HashedSentenceEncoder
+
+
+class LakeCatalog:
+    """Incrementally maintained table catalog + column index."""
+
+    def __init__(
+        self,
+        embedder: TableEmbedder,
+        sbert: HashedSentenceEncoder | None = None,
+        store: LakeStore | None = None,
+    ):
+        self.embedder = embedder
+        self.sbert = sbert
+        self.store = store
+        self.sketch_config = embedder.model.config.sketch
+        self._hasher = self.sketch_config.build_hasher()
+        self.dim = embedder.dim + (sbert.dim if sbert else 0)
+        self.searcher = TableSearcher(self.dim)
+        self.records: dict[str, LakeTableRecord] = {}
+        #: Trunk invocations (one per table sketched+embedded); warm loads
+        #: and removals must not increment it.
+        self.embed_calls = 0
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_store(
+        cls,
+        embedder: TableEmbedder,
+        store: LakeStore,
+        sbert: HashedSentenceEncoder | None = None,
+    ) -> "LakeCatalog":
+        """Warm-load: register every stored record without running the
+        trunk."""
+        catalog = cls(embedder, sbert=sbert, store=store)
+        for record in store.load_all():
+            catalog._register(record, persist=False)
+        return catalog
+
+    # ------------------------------------------------------------------ #
+    def _compute_record(self, table: Table) -> LakeTableRecord:
+        sketch = sketch_table(table, self.sketch_config, self._hasher)
+        vectors = self.column_vector_pairs(table, sketch)
+        stacked = (
+            np.stack([vector for _, vector in vectors])
+            if vectors
+            else np.zeros((0, self.dim))
+        )
+        record = LakeTableRecord(
+            sketch=sketch,
+            column_vectors=stacked,
+            table_embedding=self.embedder.table_embedding(sketch),
+            n_rows=table.n_rows,
+        )
+        return record
+
+    def column_vector_pairs(
+        self, table: Table, sketch: TableSketch
+    ) -> list[tuple[str, np.ndarray]]:
+        """Final index-ready column vectors (trunk ‖ optional SBERT half).
+
+        Exactly the construction :class:`repro.core.searcher.TabSketchFMSearcher`
+        applies, so lake answers match the one-shot pipeline bit-for-bit.
+        Counts as one ``embed_calls`` trunk invocation (the query path routes
+        through here too, so cache effectiveness is observable).
+        """
+        self.embed_calls += 1
+        embeddings = self.embedder.column_embeddings(sketch)
+        out: list[tuple[str, np.ndarray]] = []
+        for index, column_sketch in enumerate(sketch.column_sketches):
+            vector = embeddings[index]
+            if self.sbert is not None:
+                value_vec = self.sbert.encode_column(table.column(column_sketch.name))
+                vector = concat_normalized(vector, value_vec)
+            out.append((column_sketch.name, vector))
+        return out
+
+    def _register(self, record: LakeTableRecord, persist: bool = True) -> None:
+        self.records[record.name] = record
+        self.searcher.add_table(
+            record.name, record.column_names, record.column_vectors
+        )
+        if persist and self.store is not None:
+            self.store.save_table(record)
+
+    # ------------------------------------------------------------------ #
+    def add_table(self, table: Table) -> LakeTableRecord:
+        """Sketch, embed, and index one new table (and persist it)."""
+        if table.name in self.records:
+            raise ValueError(
+                f"table {table.name!r} already in catalog; use update_table"
+            )
+        record = self._compute_record(table)
+        self._register(record)
+        return record
+
+    def add_tables(self, tables: dict[str, Table]) -> list[LakeTableRecord]:
+        """Bulk add with one manifest flush instead of one per table."""
+        records = []
+        for table in tables.values():
+            if table.name in self.records:
+                raise ValueError(
+                    f"table {table.name!r} already in catalog; use update_table"
+                )
+            record = self._compute_record(table)
+            self._register(record, persist=False)
+            records.append(record)
+        if self.store is not None:
+            self.store.save_tables(records)
+        return records
+
+    def remove_table(self, name: str) -> bool:
+        """Drop one table from index, registry, and store."""
+        record = self.records.pop(name, None)
+        self.searcher.remove_table(name)
+        if self.store is not None:
+            self.store.remove_table(name)
+        return record is not None
+
+    def update_table(self, table: Table) -> LakeTableRecord:
+        """Replace one table's artifacts; only that table is re-embedded."""
+        self.remove_table(table.name)
+        return self.add_table(table)
+
+    # ------------------------------------------------------------------ #
+    def query_vectors(self, name: str) -> np.ndarray:
+        """A catalog table's stored column vectors (for leave-one-out
+        queries) — never re-embedded."""
+        return self.records[name].column_vectors
+
+    def table_names(self) -> list[str]:
+        return list(self.records)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.records
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def stats(self) -> dict:
+        return {
+            "n_tables": len(self.records),
+            "n_columns": sum(r.sketch.n_cols for r in self.records.values()),
+            "n_rows": sum(r.n_rows for r in self.records.values()),
+            "dim": self.dim,
+            "embed_calls": self.embed_calls,
+            "sbert": self.sbert is not None,
+        }

@@ -1,0 +1,199 @@
+"""Sketch <-> artifact conversion and config fingerprinting.
+
+Persisted lake artifacts are only valid under the exact configuration that
+produced them: a different MinHash family (seed / ``num_perm``), a different
+trunk, or different weights all yield incomparable sketches/embeddings. We
+therefore fingerprint the full configuration — :class:`SketchConfig`, the
+model config, the frozen text-encoder settings, and a digest of the model
+*weights* — and refuse to load artifacts whose fingerprint disagrees.
+
+A :class:`TableSketch` round-trips through ``(arrays, meta)``: uint64 MinHash
+signatures and float64 numeric statistics go into an npz archive (exact
+binary round-trip), strings and enums into the JSON manifest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+import numpy as np
+
+from repro.sketch.minhash import MinHash
+from repro.sketch.numeric import NumericalSketch, _PERCENTILES
+from repro.sketch.pipeline import ColumnSketch, SketchConfig, TableSketch
+from repro.table.schema import ColumnType
+
+#: Bumped whenever the on-disk artifact layout changes shape.
+FORMAT_VERSION = 1
+
+
+class FingerprintMismatchError(RuntimeError):
+    """Stored artifacts were produced under a different configuration."""
+
+    def __init__(self, expected: str, found: str, where: str = "lake store"):
+        super().__init__(
+            f"{where} fingerprint mismatch: expected {expected!r}, found "
+            f"{found!r} — the artifacts were built under a different "
+            "sketch/model configuration and must be re-ingested"
+        )
+        self.expected = expected
+        self.found = found
+
+
+# --------------------------------------------------------------------- #
+# Fingerprints
+# --------------------------------------------------------------------- #
+def _weights_digest(model) -> str:
+    """SHA-256 over the model's named parameters, order-independent."""
+    digest = hashlib.sha256()
+    for name, array in sorted(model.state_dict().items()):
+        digest.update(name.encode("utf-8"))
+        digest.update(np.ascontiguousarray(array, dtype=np.float64).tobytes())
+    return digest.hexdigest()
+
+
+def config_fingerprint(model_config, sbert=None, model=None) -> str:
+    """Stable hex fingerprint of everything embeddings depend on.
+
+    ``model_config`` is a :class:`repro.core.config.TabSketchFMConfig` (which
+    nests the :class:`SketchConfig`); ``sbert`` the optional frozen value
+    encoder; ``model`` the (possibly fine-tuned) trunk, whose weights are
+    digested so a fine-tune invalidates a pre-finetune lake.
+    """
+    payload: dict = {
+        "format": FORMAT_VERSION,
+        "model_config": dataclasses.asdict(model_config),
+        "sbert": None
+        if sbert is None
+        else {
+            "dim": sbert.dim,
+            "ngram": sbert.ngram,
+            "use_ngrams": sbert.use_ngrams,
+            "positional": sbert.positional,
+        },
+    }
+    if model is not None:
+        payload["weights"] = _weights_digest(model)
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+# --------------------------------------------------------------------- #
+# MinHash
+# --------------------------------------------------------------------- #
+def minhash_to_array(minhash: MinHash) -> np.ndarray:
+    """The signature as a copyable uint64 array (exact round-trip form)."""
+    return np.asarray(minhash.signature, dtype=np.uint64).copy()
+
+
+def minhash_from_array(array: np.ndarray) -> MinHash:
+    return MinHash(np.asarray(array, dtype=np.uint64).copy())
+
+
+# --------------------------------------------------------------------- #
+# NumericalSketch
+# --------------------------------------------------------------------- #
+#: unique_fraction, nan_fraction, avg_cell_width, 9 percentiles, mean, std,
+#: min, max — the *raw* statistics (not the arcsinh model-input form), so a
+#: loaded sketch reproduces ``to_vector()`` bit-for-bit.
+NUMERIC_RECORD_DIM = 7 + len(_PERCENTILES)
+
+
+def numeric_to_array(sketch: NumericalSketch) -> np.ndarray:
+    return np.asarray(
+        [
+            sketch.unique_fraction,
+            sketch.nan_fraction,
+            sketch.avg_cell_width,
+            *sketch.percentiles,
+            sketch.mean,
+            sketch.std,
+            sketch.min_value,
+            sketch.max_value,
+        ],
+        dtype=np.float64,
+    )
+
+
+def numeric_from_array(array: np.ndarray) -> NumericalSketch:
+    array = np.asarray(array, dtype=np.float64)
+    if array.shape != (NUMERIC_RECORD_DIM,):
+        raise ValueError(
+            f"numeric record must have shape ({NUMERIC_RECORD_DIM},), got {array.shape}"
+        )
+    n_pct = len(_PERCENTILES)
+    return NumericalSketch(
+        unique_fraction=float(array[0]),
+        nan_fraction=float(array[1]),
+        avg_cell_width=float(array[2]),
+        percentiles=tuple(float(p) for p in array[3 : 3 + n_pct]),
+        mean=float(array[3 + n_pct]),
+        std=float(array[4 + n_pct]),
+        min_value=float(array[5 + n_pct]),
+        max_value=float(array[6 + n_pct]),
+    )
+
+
+# --------------------------------------------------------------------- #
+# TableSketch
+# --------------------------------------------------------------------- #
+def pack_table_sketch(sketch: TableSketch) -> tuple[dict[str, np.ndarray], dict]:
+    """Split a :class:`TableSketch` into npz arrays + JSON-safe metadata."""
+    arrays = {
+        "snapshot_sig": minhash_to_array(sketch.snapshot),
+        "values_sig": np.stack(
+            [minhash_to_array(c.values_minhash) for c in sketch.column_sketches]
+        )
+        if sketch.column_sketches
+        else np.zeros((0, sketch.config.num_perm), dtype=np.uint64),
+        "words_sig": np.stack(
+            [minhash_to_array(c.words_minhash) for c in sketch.column_sketches]
+        )
+        if sketch.column_sketches
+        else np.zeros((0, sketch.config.num_perm), dtype=np.uint64),
+        "numeric_stats": np.stack(
+            [numeric_to_array(c.numeric) for c in sketch.column_sketches]
+        )
+        if sketch.column_sketches
+        else np.zeros((0, NUMERIC_RECORD_DIM), dtype=np.float64),
+        "n_values": np.asarray(
+            [c.n_values for c in sketch.column_sketches], dtype=np.int64
+        ),
+        "ctypes": np.asarray(
+            [int(c.ctype) for c in sketch.column_sketches], dtype=np.int64
+        ),
+    }
+    meta = {
+        "table_name": sketch.table_name,
+        "description": sketch.description,
+        "columns": [c.name for c in sketch.column_sketches],
+        "sketch_config": dataclasses.asdict(sketch.config),
+    }
+    return arrays, meta
+
+
+def unpack_table_sketch(arrays: dict[str, np.ndarray], meta: dict) -> TableSketch:
+    """Rebuild the exact :class:`TableSketch` from :func:`pack_table_sketch`
+    output."""
+    config = SketchConfig(**meta["sketch_config"])
+    columns = meta["columns"]
+    column_sketches = [
+        ColumnSketch(
+            name=name,
+            ctype=ColumnType(int(arrays["ctypes"][i])),
+            values_minhash=minhash_from_array(arrays["values_sig"][i]),
+            words_minhash=minhash_from_array(arrays["words_sig"][i]),
+            numeric=numeric_from_array(arrays["numeric_stats"][i]),
+            n_values=int(arrays["n_values"][i]),
+        )
+        for i, name in enumerate(columns)
+    ]
+    return TableSketch(
+        table_name=meta["table_name"],
+        description=meta["description"],
+        column_sketches=column_sketches,
+        snapshot=minhash_from_array(arrays["snapshot_sig"]),
+        config=config,
+    )

@@ -1,0 +1,202 @@
+"""`LakeService` — the thread-safe query facade over a `LakeCatalog`.
+
+Implements the paper's three discovery workloads against a standing lake:
+
+- ``join``  — closest-single-column ranking (§IV-C1), queried per column;
+- ``union`` / ``subset`` — the Fig. 6 NEARTABLES/RANK1/RANK2 procedure over
+  all of the query table's columns (§IV-C2/C3).
+
+Query tables may be catalog members (their stored vectors are reused — zero
+trunk work) or external :class:`~repro.table.schema.Table` objects, whose
+sketch+embeddings are computed once and kept in a content-addressed LRU
+cache, so repeated and batched queries pay the trunk cost once. A single
+re-entrant lock serializes catalog mutations against reads; queries hold it
+only around shared-state access, which is enough for correctness with the
+pure-numpy index.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.lake.catalog import LakeCatalog
+from repro.sketch.pipeline import sketch_table
+from repro.table.schema import Table
+
+QUERY_MODES = ("join", "union", "subset")
+
+
+def table_digest(table: Table) -> str:
+    """Content-addressed cache key: name, description, schema, all cells."""
+    digest = hashlib.sha256()
+    digest.update(table.name.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(table.description.encode("utf-8"))
+    for column in table.columns:
+        digest.update(b"\x01")
+        digest.update(column.name.encode("utf-8"))
+        for value in column.values:
+            digest.update(b"\x02")
+            digest.update(value.encode("utf-8"))
+    return digest.hexdigest()
+
+
+class _LruCache:
+    """Tiny LRU for (digest -> ordered column-vector pairs)."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._data: OrderedDict[str, list] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str):
+        if key in self._data:
+            self._data.move_to_end(key)
+            self.hits += 1
+            return self._data[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: str, value) -> None:
+        if self.capacity <= 0:
+            return
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class LakeService:
+    """Batched join/union/subset queries over a standing lake."""
+
+    def __init__(self, catalog: LakeCatalog, cache_size: int = 128):
+        self.catalog = catalog
+        self._lock = threading.RLock()
+        self._cache = _LruCache(cache_size)
+        self.query_count = 0
+
+    # ------------------------------------------------------------------ #
+    def _resolve_vectors(
+        self, query: str | Table
+    ) -> tuple[list[tuple[str, np.ndarray]], str | None]:
+        """``(ordered (column, vector) pairs, exclude_table)`` for a query.
+
+        Catalog members resolve to their stored vectors; external tables go
+        through the LRU-cached embedding path. An external table whose name
+        shadows a catalog member is still excluded from its own results
+        (leave-one-out, as in the paper's benchmarks).
+
+        The trunk runs *outside* the lock: only cache/catalog lookups are
+        guarded, so concurrent external-table queries embed in parallel.
+        (Two threads missing on the same digest may both embed it — the
+        standard benign cache stampede; results are deterministic.)
+        """
+        if isinstance(query, str):
+            with self._lock:
+                if query not in self.catalog:
+                    raise KeyError(f"query table {query!r} not in catalog")
+                record = self.catalog.records[query]
+                return record.vector_pairs(), query
+        key = table_digest(query)
+        with self._lock:
+            pairs = self._cache.get(key)
+        if pairs is None:
+            table_sketch = sketch_table(
+                query, self.catalog.sketch_config, self.catalog._hasher
+            )
+            pairs = self.catalog.column_vector_pairs(query, table_sketch)
+            with self._lock:
+                self._cache.put(key, pairs)
+        with self._lock:
+            exclude = query.name if query.name in self.catalog else None
+        return pairs, exclude
+
+    # ------------------------------------------------------------------ #
+    def query(
+        self,
+        query: str | Table,
+        mode: str = "union",
+        k: int = 10,
+        column: str | None = None,
+    ) -> list[str]:
+        """Top-``k`` lake tables for one query table (or member name).
+
+        ``join`` mode searches by one column (``column=`` names it; default
+        is the paper's every-column union of per-column join results ranked
+        by best distance). ``union``/``subset`` run the Fig. 6 ranking.
+        """
+        if mode not in QUERY_MODES:
+            raise ValueError(f"unknown query mode {mode!r}; want one of {QUERY_MODES}")
+        pairs, exclude = self._resolve_vectors(query)
+        with self._lock:
+            self.query_count += 1
+            if not pairs:
+                return []
+            searcher = self.catalog.searcher
+            if mode == "join":
+                if column is not None:
+                    by_name = dict(pairs)
+                    if column not in by_name:
+                        raise KeyError(f"query table has no column {column!r}")
+                    return searcher.search_by_column(
+                        by_name[column], k, exclude_table=exclude
+                    )
+                # No column marked: best single-column match per lake table.
+                best: dict[str, float] = {}
+                for _, vector in pairs:
+                    for table, distance in searcher.column_near_tables(
+                        vector, k, exclude_table=exclude
+                    ).items():
+                        if table not in best or distance < best[table]:
+                            best[table] = distance
+                ranked = sorted(best.items(), key=lambda item: item[1])
+                return [table for table, _ in ranked[:k]]
+            vectors = np.stack([vector for _, vector in pairs])
+            return searcher.search_tables(vectors, k, exclude_table=exclude)
+
+    def query_batch(
+        self,
+        queries: list[str | Table],
+        mode: str = "union",
+        k: int = 10,
+    ) -> list[list[str]]:
+        """Answer many queries; the embedding cache is shared across the
+        batch."""
+        return [self.query(query, mode=mode, k=k) for query in queries]
+
+    # ------------------------------------------------------------------ #
+    def add_table(self, table: Table):
+        with self._lock:
+            return self.catalog.add_table(table)
+
+    def remove_table(self, name: str) -> bool:
+        with self._lock:
+            return self.catalog.remove_table(name)
+
+    def update_table(self, table: Table):
+        with self._lock:
+            return self.catalog.update_table(table)
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        with self._lock:
+            stats = self.catalog.stats()
+            stats.update(
+                {
+                    "queries_served": self.query_count,
+                    "cache_entries": len(self._cache),
+                    "cache_hits": self._cache.hits,
+                    "cache_misses": self._cache.misses,
+                }
+            )
+            if self.catalog.store is not None:
+                stats["store"] = self.catalog.store.stats()
+            return stats

@@ -1,0 +1,217 @@
+"""`LakeStore` — the on-disk artifact layout of an indexed data lake.
+
+Layout under one root directory::
+
+    <root>/
+      manifest.json          # fingerprint + ordered table entries
+      tables/
+        t000001.npz          # one archive per table (see below)
+
+Each table archive holds the packed :class:`~repro.sketch.pipeline.TableSketch`
+arrays (uint64 signatures, float64 raw numeric stats) plus the final
+``column_vectors`` the index serves and the pooled ``table_embedding`` —
+everything float64/uint64 in npz, so a save/load round-trip is bit-exact and
+warm queries are bit-identical to a cold in-memory build.
+
+The manifest records the config fingerprint
+(:func:`repro.lake.serialization.config_fingerprint`); opening a store with a
+different expected fingerprint raises :class:`FingerprintMismatchError`
+instead of silently serving stale vectors. Table entries are an ordered
+*list* (not a name-keyed dict) so insertion order — and therefore index row
+order and tie-breaking — survives persistence.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.lake.serialization import (
+    FORMAT_VERSION,
+    FingerprintMismatchError,
+    pack_table_sketch,
+    unpack_table_sketch,
+)
+from repro.sketch.pipeline import TableSketch
+from repro.utils.io import ensure_dir, read_json, write_json
+
+MANIFEST_NAME = "manifest.json"
+TABLES_DIR = "tables"
+
+
+@dataclass
+class LakeTableRecord:
+    """Everything the lake persists for one table."""
+
+    sketch: TableSketch
+    column_vectors: np.ndarray  # (n_cols, dim) — final, index-ready vectors
+    table_embedding: np.ndarray  # (dim,)
+    n_rows: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.sketch.table_name
+
+    @property
+    def column_names(self) -> list[str]:
+        return self.sketch.column_names
+
+    def vector_pairs(self) -> list[tuple[str, np.ndarray]]:
+        """Ordered ``(column, vector)`` pairs in the searcher's input form."""
+        return list(zip(self.column_names, self.column_vectors))
+
+
+class LakeStore:
+    """Persist/load per-table lake artifacts under a fingerprint guard."""
+
+    def __init__(self, root: str | os.PathLike, fingerprint: str):
+        self.root = ensure_dir(root)
+        ensure_dir(self.root / TABLES_DIR)
+        self.fingerprint = fingerprint
+        manifest_path = self.root / MANIFEST_NAME
+        if manifest_path.exists():
+            manifest = read_json(manifest_path)
+            found = manifest.get("fingerprint", "")
+            if found != fingerprint:
+                raise FingerprintMismatchError(fingerprint, found)
+            self._manifest = manifest
+        else:
+            self._manifest = {
+                "format_version": FORMAT_VERSION,
+                "fingerprint": fingerprint,
+                "next_id": 1,
+                "tables": [],
+            }
+            self._flush()
+        # O(1) name lookup over the ordered entry list.
+        self._by_name: dict[str, dict] = {
+            entry["name"]: entry for entry in self._manifest["tables"]
+        }
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def open(
+        cls, root: str | os.PathLike, expected_fingerprint: str | None = None
+    ) -> "LakeStore":
+        """Open an existing store, validating its fingerprint if given."""
+        manifest_path = Path(root) / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise FileNotFoundError(f"no lake manifest at {manifest_path}")
+        found = read_json(manifest_path).get("fingerprint", "")
+        if expected_fingerprint is not None and found != expected_fingerprint:
+            raise FingerprintMismatchError(expected_fingerprint, found)
+        return cls(root, found)
+
+    def _flush(self) -> None:
+        write_json(self.root / MANIFEST_NAME, self._manifest)
+
+    def _entry(self, name: str) -> dict | None:
+        return self._by_name.get(name)
+
+    # ------------------------------------------------------------------ #
+    def _write_table(self, record: LakeTableRecord) -> None:
+        """Write the npz *first*, then mutate the manifest — a failed array
+        write must not leave a half-built entry for a later flush."""
+        existing = self._entry(record.name)
+        if existing is None:
+            file_id = self._manifest["next_id"]
+            file_rel = f"{TABLES_DIR}/t{file_id:06d}.npz"
+        else:
+            file_rel = existing["file"]
+        arrays, meta = pack_table_sketch(record.sketch)
+        arrays["column_vectors"] = np.asarray(record.column_vectors, dtype=np.float64)
+        arrays["table_embedding"] = np.asarray(record.table_embedding, dtype=np.float64)
+        np.savez(self.root / file_rel, **arrays)
+        fields = {
+            "name": record.name,
+            "file": file_rel,
+            "sketch_meta": meta,
+            "n_rows": int(record.n_rows),
+            "n_cols": len(record.column_names),
+            "metadata": record.metadata,
+        }
+        if existing is None:
+            self._manifest["next_id"] += 1
+            self._manifest["tables"].append(fields)
+            self._by_name[record.name] = fields
+        else:
+            existing.update(fields)
+
+    def save_table(self, record: LakeTableRecord) -> None:
+        """Write one table's artifacts; replaces any same-named entry."""
+        self._write_table(record)
+        self._flush()
+
+    def save_tables(self, records: list[LakeTableRecord]) -> None:
+        """Bulk save with a single manifest flush (ingest-scale writes)."""
+        for record in records:
+            self._write_table(record)
+        if records:
+            self._flush()
+
+    def load_table(self, name: str) -> LakeTableRecord:
+        entry = self._entry(name)
+        if entry is None:
+            raise KeyError(f"lake store has no table {name!r}")
+        return self._load_entry(entry)
+
+    def _load_entry(self, entry: dict) -> LakeTableRecord:
+        with np.load(self.root / entry["file"]) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        sketch = unpack_table_sketch(arrays, entry["sketch_meta"])
+        return LakeTableRecord(
+            sketch=sketch,
+            column_vectors=arrays["column_vectors"],
+            table_embedding=arrays["table_embedding"],
+            n_rows=int(entry.get("n_rows", 0)),
+            metadata=dict(entry.get("metadata", {})),
+        )
+
+    def load_all(self) -> Iterator[LakeTableRecord]:
+        """Records in manifest (= insertion) order, for deterministic warm
+        loads."""
+        for entry in list(self._manifest["tables"]):
+            yield self._load_entry(entry)
+
+    def remove_table(self, name: str) -> bool:
+        entry = self._entry(name)
+        if entry is None:
+            return False
+        self._manifest["tables"].remove(entry)
+        del self._by_name[name]
+        path = self.root / entry["file"]
+        if path.exists():
+            path.unlink()
+        self._flush()
+        return True
+
+    # ------------------------------------------------------------------ #
+    def table_names(self) -> list[str]:
+        return [entry["name"] for entry in self._manifest["tables"]]
+
+    def __contains__(self, name: str) -> bool:
+        return self._entry(name) is not None
+
+    def __len__(self) -> int:
+        return len(self._manifest["tables"])
+
+    def stats(self) -> dict:
+        entries = self._manifest["tables"]
+        return {
+            "root": str(self.root),
+            "fingerprint": self.fingerprint,
+            "format_version": self._manifest.get("format_version"),
+            "n_tables": len(entries),
+            "n_columns": sum(int(e.get("n_cols", 0)) for e in entries),
+            "n_rows": sum(int(e.get("n_rows", 0)) for e in entries),
+            "disk_bytes": sum(
+                (self.root / e["file"]).stat().st_size
+                for e in entries
+                if (self.root / e["file"]).exists()
+            ),
+        }

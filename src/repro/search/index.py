@@ -5,11 +5,22 @@ The paper indexes table/column embeddings and retrieves nearest neighbours
 embeddings for the query table"). At reproduction scale an exact vectorized
 index is both faster and noise-free; the LSH structures used by specific
 baselines live in :mod:`repro.sketch.lsh` / :mod:`repro.sketch.simhash`.
+
+Storage is a capacity-doubling row buffer so the index supports *incremental*
+maintenance: ``add``/``add_many`` are amortized O(1) per row (no re-stacking
+of the whole corpus on the next query) and ``remove_many`` compacts in one
+O(n) pass per batch. This is what lets :mod:`repro.lake` apply one-table
+deltas to a standing lake without rebuilding the index.
 """
 
 from __future__ import annotations
 
+from typing import Iterable, Sequence
+
 import numpy as np
+
+#: Smallest non-zero row capacity allocated by the growable buffer.
+_MIN_CAPACITY = 8
 
 
 class KnnIndex:
@@ -21,30 +32,78 @@ class KnnIndex:
         self.dim = dim
         self.metric = metric
         self._keys: list = []
-        self._vectors: list[np.ndarray] = []
-        self._matrix: np.ndarray | None = None
+        self._data = np.zeros((0, dim), dtype=np.float64)
+        self._size = 0
 
-    def add(self, key, vector: np.ndarray) -> None:
+    # ------------------------------------------------------------------ #
+    def _reserve(self, extra: int) -> None:
+        """Grow the backing buffer (doubling) to fit ``extra`` more rows."""
+        need = self._size + extra
+        capacity = self._data.shape[0]
+        if need <= capacity:
+            return
+        new_capacity = max(need, max(_MIN_CAPACITY, 2 * capacity))
+        grown = np.zeros((new_capacity, self.dim), dtype=np.float64)
+        grown[: self._size] = self._data[: self._size]
+        self._data = grown
+
+    def _check(self, vector: np.ndarray) -> np.ndarray:
         vector = np.asarray(vector, dtype=np.float64)
         if vector.shape != (self.dim,):
             raise ValueError(f"expected dim {self.dim}, got {vector.shape}")
+        return vector
+
+    def add(self, key, vector: np.ndarray) -> None:
+        """Append one (key, vector) row — amortized O(1)."""
+        vector = self._check(vector)
+        self._reserve(1)
+        self._data[self._size] = vector
         self._keys.append(key)
-        self._vectors.append(vector)
-        self._matrix = None
+        self._size += 1
 
-    def add_many(self, items: list[tuple[object, np.ndarray]]) -> None:
-        for key, vector in items:
-            self.add(key, vector)
+    def add_many(self, items: Sequence[tuple[object, np.ndarray]]) -> None:
+        """Bulk append: one reserve + one block copy for the whole batch."""
+        items = list(items)
+        if not items:
+            return
+        block = np.stack([self._check(vector) for _, vector in items])
+        self._reserve(len(items))
+        self._data[self._size : self._size + len(items)] = block
+        self._keys.extend(key for key, _ in items)
+        self._size += len(items)
 
-    def _ensure_matrix(self) -> np.ndarray:
-        if self._matrix is None:
-            self._matrix = np.stack(self._vectors) if self._vectors else np.zeros((0, self.dim))
-        return self._matrix
+    # ------------------------------------------------------------------ #
+    def remove_many(self, keys: Iterable[object]) -> int:
+        """Drop every row whose key is in ``keys``; returns rows removed.
+
+        One compaction pass over the buffer regardless of batch size, so a
+        whole-table delta costs the same as a single-column one.
+        """
+        doomed = set(keys)
+        if not doomed:
+            return 0
+        keep = [i for i, key in enumerate(self._keys) if key not in doomed]
+        removed = self._size - len(keep)
+        if removed == 0:
+            return 0
+        self._data[: len(keep)] = self._data[keep]
+        self._keys = [self._keys[i] for i in keep]
+        self._size = len(keep)
+        return removed
+
+    def remove(self, key) -> int:
+        """Drop every row stored under ``key``; returns rows removed."""
+        return self.remove_many([key])
+
+    # ------------------------------------------------------------------ #
+    def _matrix(self) -> np.ndarray:
+        """The live (n, dim) view of stored vectors — no copying."""
+        return self._data[: self._size]
 
     def query(self, vector: np.ndarray, k: int) -> list[tuple[object, float]]:
         """Top-``k`` (key, distance) pairs, ascending by distance."""
-        matrix = self._ensure_matrix()
-        if matrix.shape[0] == 0:
+        matrix = self._matrix()
+        if matrix.shape[0] == 0 or k <= 0:
             return []
         vector = np.asarray(vector, dtype=np.float64)
         if self.metric == "cosine":
@@ -58,5 +117,11 @@ class KnnIndex:
         top = top[np.argsort(distances[top])]
         return [(self._keys[i], float(distances[i])) for i in top]
 
+    def keys(self) -> list:
+        return list(self._keys)
+
+    def __contains__(self, key) -> bool:
+        return key in self._keys
+
     def __len__(self) -> int:
-        return len(self._keys)
+        return self._size

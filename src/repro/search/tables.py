@@ -48,8 +48,34 @@ class TableSearcher:
         self._columns_by_table[table].append((entry, np.asarray(vector, dtype=np.float64)))
 
     def add_table(self, table: str, column_names: list[str], vectors: np.ndarray) -> None:
-        for name, vector in zip(column_names, vectors):
-            self.add_column(table, name, vector)
+        """Index all of a table's columns in one bulk append."""
+        pairs = [
+            (ColumnEntry(table, name), np.asarray(vector, dtype=np.float64))
+            for name, vector in zip(column_names, vectors)
+        ]
+        self.index.add_many(pairs)
+        self._columns_by_table[table].extend(pairs)
+
+    def remove_table(self, table: str) -> int:
+        """Drop every indexed column of ``table``; returns columns removed.
+
+        One compaction pass over the index — the incremental-delete primitive
+        for :class:`repro.lake.catalog.LakeCatalog`.
+        """
+        entries = self._columns_by_table.pop(table, [])
+        if not entries:
+            return 0
+        return self.index.remove_many([entry for entry, _ in entries])
+
+    def has_table(self, table: str) -> bool:
+        return table in self._columns_by_table
+
+    def table_names(self) -> list[str]:
+        return list(self._columns_by_table)
+
+    @property
+    def n_tables(self) -> int:
+        return len(self._columns_by_table)
 
     # ------------------------------------------------------------------ #
     def knn_columns(
@@ -57,8 +83,10 @@ class TableSearcher:
     ) -> list[tuple[ColumnEntry, float]]:
         """KNNSEARCH: the ``k * candidate_factor`` nearest columns."""
         want = k * self.candidate_factor
-        # Over-fetch to survive the exclude filter.
-        raw = self.index.query(vector, want + (len(self._columns_by_table[exclude_table]) if exclude_table else 0))
+        # Over-fetch to survive the exclude filter. (.get, not [], so the
+        # defaultdict is never polluted with an empty excluded-table entry.)
+        excluded = len(self._columns_by_table.get(exclude_table, ())) if exclude_table else 0
+        raw = self.index.query(vector, want + excluded)
         out = [
             (entry, distance)
             for entry, distance in raw

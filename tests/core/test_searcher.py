@@ -68,3 +68,67 @@ def test_names(tiny_model, tiny_encoder, small_corpus):
     assert TabSketchFMSearcher(embedder, tables, sketches).name == "TabSketchFM"
     named = TabSketchFMSearcher(embedder, tables, sketches, name="custom")
     assert named.name == "custom"
+
+
+def test_incremental_add_remove_does_not_mutate_caller_dicts(
+    tiny_model, tiny_encoder, small_corpus
+):
+    tables, sketches = small_corpus
+    n_tables, n_sketches = len(tables), len(sketches)
+    searcher = TabSketchFMSearcher(
+        TableEmbedder(tiny_model, tiny_encoder), tables, sketches
+    )
+    searcher.remove_table("unrelated")
+    assert len(tables) == n_tables and len(sketches) == n_sketches
+
+
+def test_add_table_without_table_object(tiny_model, tiny_encoder, small_corpus):
+    """Sketch-only (warm-store) indexing needs no Table when SBERT is off."""
+    tables, sketches = small_corpus
+    searcher = TabSketchFMSearcher(
+        TableEmbedder(tiny_model, tiny_encoder),
+        {k: v for k, v in tables.items() if k != "unrelated"},
+        {k: v for k, v in sketches.items() if k != "unrelated"},
+    )
+    searcher.add_table("unrelated", None, sketches["unrelated"])
+    ranked = searcher.retrieve(SearchQuery(table="q", column="place"), k=2)
+    assert set(ranked) == {"overlap", "unrelated"}
+
+
+def test_add_table_replaces_in_place(tiny_model, tiny_encoder, small_corpus):
+    tables, sketches = small_corpus
+    searcher = TabSketchFMSearcher(
+        TableEmbedder(tiny_model, tiny_encoder), tables, sketches
+    )
+    before = searcher.retrieve(SearchQuery(table="q"), k=2)
+    # Re-adding the same table (update-in-place) must not crash or duplicate.
+    searcher.add_table("overlap", tables["overlap"], sketches["overlap"])
+    assert searcher.retrieve(SearchQuery(table="q"), k=2) == before
+    assert len(searcher.searcher.index) == sum(s.n_cols for s in sketches.values())
+
+
+def test_precomputed_vectors_skip_embedding(tiny_model, tiny_encoder, small_corpus):
+    tables, sketches = small_corpus
+    embedder = TableEmbedder(tiny_model, tiny_encoder)
+    reference = TabSketchFMSearcher(embedder, tables, sketches)
+    precomputed = {
+        name: [
+            (cs.name, reference._column_vectors[(name, cs.name)])
+            for cs in sketch.column_sketches
+        ]
+        for name, sketch in sketches.items()
+    }
+
+    calls = {"n": 0}
+    original = embedder.column_embeddings
+
+    def counting(sketch):
+        calls["n"] += 1
+        return original(sketch)
+
+    embedder.column_embeddings = counting
+    warm = TabSketchFMSearcher(embedder, tables, sketches, precomputed=precomputed)
+    embedder.column_embeddings = original
+    assert calls["n"] == 0
+    query = SearchQuery(table="q")
+    assert warm.retrieve(query, k=2) == reference.retrieve(query, k=2)

@@ -1,0 +1,42 @@
+"""Shared fixtures for the `repro.lake` subsystem tests: a small grouped
+corpus plus a frozen embedding stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.embed import TableEmbedder
+from repro.lake.catalog import LakeCatalog
+from repro.table.schema import Table, table_from_rows
+
+
+@pytest.fixture(scope="module")
+def lake_tables() -> dict[str, Table]:
+    tables: dict[str, Table] = {}
+    for group in range(3):
+        base = [f"grp{group}val{i}" for i in range(30)]
+        for member in range(3):
+            name = f"g{group}t{member}"
+            keep = base[: 20 + 3 * member]
+            rows = [
+                [value, str((group + 1) * i), f"tag{i % 4}"]
+                for i, value in enumerate(keep)
+            ]
+            tables[name] = table_from_rows(
+                name, ["entity", "count", "tag"], rows,
+                description=f"group {group} member {member}",
+            )
+    return tables
+
+
+@pytest.fixture()
+def lake_embedder(tiny_model, tiny_encoder) -> TableEmbedder:
+    return TableEmbedder(tiny_model, tiny_encoder)
+
+
+@pytest.fixture()
+def cold_catalog(lake_embedder, lake_tables) -> LakeCatalog:
+    catalog = LakeCatalog(lake_embedder)
+    for table in lake_tables.values():
+        catalog.add_table(table)
+    return catalog

@@ -1,0 +1,97 @@
+"""Model-bundle persistence and the ``python -m repro.lake`` CLI."""
+
+import numpy as np
+import pytest
+
+from repro.core.embed import TableEmbedder
+from repro.lake.bundle import has_bundle, load_bundle, save_bundle
+from repro.lake.serialization import config_fingerprint
+from repro.lake import __main__ as cli
+from repro.sketch.pipeline import sketch_table
+from repro.table.csvio import write_csv
+
+
+def test_bundle_roundtrip_reproduces_embeddings(
+    tmp_path, tiny_model, tiny_encoder, city_table, tiny_sketch_config
+):
+    assert not has_bundle(tmp_path)
+    save_bundle(tmp_path, tiny_model, tiny_encoder.tokenizer)
+    assert has_bundle(tmp_path)
+
+    model, encoder, sbert = load_bundle(tmp_path)
+    assert sbert is None
+    assert config_fingerprint(model.config, model=model) == config_fingerprint(
+        tiny_model.config, model=tiny_model
+    )
+    sketch = sketch_table(city_table, tiny_sketch_config)
+    original = TableEmbedder(tiny_model, tiny_encoder).column_embeddings(sketch)
+    restored = TableEmbedder(model, encoder).column_embeddings(sketch)
+    assert np.array_equal(original, restored)
+
+
+def test_bundle_persists_sbert_settings(tmp_path, tiny_model, tiny_encoder):
+    from repro.text.sbert import HashedSentenceEncoder
+
+    save_bundle(
+        tmp_path, tiny_model, tiny_encoder.tokenizer,
+        sbert=HashedSentenceEncoder(dim=48, ngram=2, positional=True),
+    )
+    _, _, sbert = load_bundle(tmp_path)
+    assert (sbert.dim, sbert.ngram, sbert.positional) == (48, 2, True)
+
+
+@pytest.fixture()
+def csv_dir(tmp_path, lake_tables):
+    directory = tmp_path / "csvs"
+    for name, table in lake_tables.items():
+        write_csv(table, directory / f"{name}.csv")
+    return directory
+
+
+def test_cli_ingest_query_stats_roundtrip(tmp_path, csv_dir, capsys, lake_tables):
+    lake = str(tmp_path / "lake")
+    cli.main([
+        "ingest", "--lake", lake, "--csv-dir", str(csv_dir),
+        "--num-perm", "16", "--dim", "32", "--vocab-size", "400",
+    ])
+    out = capsys.readouterr().out
+    assert f"ingested {len(lake_tables)} tables" in out
+
+    # Re-ingest warm-loads and adds nothing.
+    cli.main(["ingest", "--lake", lake, "--csv-dir", str(csv_dir)])
+    out = capsys.readouterr().out
+    assert "ingested 0 tables" in out
+    assert f"({len(lake_tables)} already present)" in out
+
+    cli.main(["query", "--lake", lake, "--table", "g1t1", "--mode", "union", "-k", "3"])
+    out = capsys.readouterr().out
+    lines = out.splitlines()
+    assert "union results for 'g1t1'" in lines[0]
+    assert lines[1:], "expected ranked results"
+    assert all("g1t1" not in line for line in lines[1:])  # leave-one-out
+
+    cli.main(["remove", "--lake", lake, "--table", "g0t0"])
+    out = capsys.readouterr().out
+    assert f"{len(lake_tables) - 1} tables remain" in out
+
+    cli.main(["stats", "--lake", lake])
+    out = capsys.readouterr().out
+    assert f'"n_tables": {len(lake_tables) - 1}' in out
+
+
+def test_cli_query_external_csv(tmp_path, csv_dir, capsys):
+    lake = str(tmp_path / "lake")
+    cli.main([
+        "ingest", "--lake", lake, "--csv-dir", str(csv_dir),
+        "--num-perm", "16", "--dim", "32", "--vocab-size", "400",
+    ])
+    capsys.readouterr()
+    probe = csv_dir / "g2t2.csv"
+    cli.main(["query", "--lake", lake, "--csv", str(probe), "--mode", "join", "-k", "2"])
+    out = capsys.readouterr().out
+    assert "join results" in out
+
+
+def test_cli_errors_on_missing_lake(tmp_path):
+    with pytest.raises(SystemExit, match="not an ingested lake"):
+        cli.main(["stats", "--lake", str(tmp_path / "void")])

@@ -1,0 +1,75 @@
+"""Incremental `LakeCatalog` semantics: deltas touch one table only, warm
+loads touch none, and the index stays consistent with a cold rebuild."""
+
+import numpy as np
+import pytest
+
+from repro.lake.catalog import LakeCatalog
+from repro.lake.store import LakeStore
+
+
+def test_add_counts_one_embed_call_per_table(lake_embedder, lake_tables):
+    catalog = LakeCatalog(lake_embedder)
+    for table in lake_tables.values():
+        catalog.add_table(table)
+    assert catalog.embed_calls == len(lake_tables)
+    assert len(catalog) == len(lake_tables)
+    assert catalog.searcher.n_tables == len(lake_tables)
+
+
+def test_adding_one_table_embeds_only_that_table(cold_catalog, lake_tables):
+    before = cold_catalog.embed_calls
+    extra = next(iter(lake_tables.values()))
+    renamed = extra.with_columns(extra.columns, name="fresh")
+    cold_catalog.add_table(renamed)
+    assert cold_catalog.embed_calls == before + 1
+
+
+def test_duplicate_add_rejected(cold_catalog, lake_tables):
+    name = next(iter(lake_tables))
+    with pytest.raises(ValueError, match="already in catalog"):
+        cold_catalog.add_table(lake_tables[name])
+
+
+def test_remove_table_clears_index_and_registry(cold_catalog):
+    assert cold_catalog.remove_table("g0t0")
+    assert "g0t0" not in cold_catalog
+    assert not cold_catalog.searcher.has_table("g0t0")
+    assert not cold_catalog.remove_table("g0t0")
+    # Removal never invokes the trunk.
+    assert cold_catalog.embed_calls == 9
+
+
+def test_update_reembeds_only_the_updated_table(cold_catalog, lake_tables):
+    before = cold_catalog.embed_calls
+    table = lake_tables["g1t1"]
+    cold_catalog.update_table(table)
+    assert cold_catalog.embed_calls == before + 1
+    assert "g1t1" in cold_catalog
+
+
+def test_warm_load_matches_cold_and_embeds_nothing(
+    tmp_path, lake_embedder, lake_tables
+):
+    store = LakeStore(tmp_path, "fp")
+    cold = LakeCatalog(lake_embedder, store=store)
+    for table in lake_tables.values():
+        cold.add_table(table)
+
+    warm = LakeCatalog.from_store(lake_embedder, LakeStore.open(tmp_path))
+    assert warm.embed_calls == 0
+    assert warm.table_names() == cold.table_names()
+    for name in lake_tables:
+        assert np.array_equal(warm.query_vectors(name), cold.query_vectors(name))
+
+
+def test_mutations_persist_through_store(tmp_path, lake_embedder, lake_tables):
+    store = LakeStore(tmp_path, "fp")
+    catalog = LakeCatalog(lake_embedder, store=store)
+    names = list(lake_tables)
+    for name in names[:4]:
+        catalog.add_table(lake_tables[name])
+    catalog.remove_table(names[1])
+
+    warm = LakeCatalog.from_store(lake_embedder, LakeStore.open(tmp_path))
+    assert warm.table_names() == [names[0], names[2], names[3]]

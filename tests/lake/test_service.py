@@ -1,0 +1,153 @@
+"""`LakeService` query facade: warm/cold equivalence, incremental
+consistency against cold rebuilds, caching, batching, and thread safety."""
+
+import threading
+
+import pytest
+
+from repro.lake.catalog import LakeCatalog
+from repro.lake.service import LakeService, table_digest
+from repro.lake.store import LakeStore
+
+MODES = ("join", "union", "subset")
+
+
+def _all_queries(service, names, k=5):
+    return {
+        mode: {name: service.query(name, mode=mode, k=k) for name in names}
+        for mode in MODES
+    }
+
+
+def test_warm_service_answers_identical_to_cold(
+    tmp_path, lake_embedder, lake_tables
+):
+    store = LakeStore(tmp_path, "fp")
+    cold_catalog = LakeCatalog(lake_embedder, store=store)
+    for table in lake_tables.values():
+        cold_catalog.add_table(table)
+    cold = _all_queries(LakeService(cold_catalog), lake_tables)
+
+    warm_catalog = LakeCatalog.from_store(lake_embedder, LakeStore.open(tmp_path))
+    warm = _all_queries(LakeService(warm_catalog), lake_tables)
+    assert warm == cold
+    assert warm_catalog.embed_calls == 0
+
+
+def test_incremental_mutations_match_cold_rebuild(lake_embedder, lake_tables):
+    names = list(lake_tables)
+    kept = [n for n in names if n != "g2t0"]
+
+    # Mutated: add everything, query, remove one, query again.
+    mutated = LakeService(LakeCatalog(lake_embedder))
+    for table in lake_tables.values():
+        mutated.add_table(table)
+    _all_queries(mutated, names)  # exercise the index pre-removal
+    mutated.remove_table("g2t0")
+    after_removal = _all_queries(mutated, kept)
+
+    # Cold rebuild on the same final table set.
+    cold = LakeService(LakeCatalog(lake_embedder))
+    for name in kept:
+        cold.add_table(lake_tables[name])
+    assert after_removal == _all_queries(cold, kept)
+
+    # Removed table no longer appears anywhere.
+    for per_mode in after_removal.values():
+        for results in per_mode.values():
+            assert "g2t0" not in results
+
+    # Re-adding restores cold-equivalent answers on the full set.
+    mutated.add_table(lake_tables["g2t0"])
+    full_cold = LakeService(LakeCatalog(lake_embedder))
+    for table in lake_tables.values():
+        full_cold.add_table(table)
+    assert _all_queries(mutated, names) == _all_queries(full_cold, names)
+
+
+def test_external_query_table_uses_lru_cache(cold_catalog, lake_tables):
+    service = LakeService(cold_catalog)
+    probe = lake_tables["g1t2"].with_columns(
+        lake_tables["g1t2"].columns, name="probe"
+    )
+    embeds_before = cold_catalog.embed_calls
+    first = service.query(probe, mode="union", k=4)
+    assert cold_catalog.embed_calls == embeds_before + 1
+    second = service.query(probe, mode="union", k=4)
+    assert second == first
+    # Second query hit the cache — no further trunk work.
+    assert cold_catalog.embed_calls == embeds_before + 1
+    assert service._cache.hits == 1
+    # The probe resembles group 1; its nearest union candidates are group 1.
+    assert first[0].startswith("g1")
+
+
+def test_member_name_query_excludes_itself(cold_catalog):
+    service = LakeService(cold_catalog)
+    for mode in MODES:
+        assert "g0t0" not in service.query("g0t0", mode=mode, k=9)
+
+
+def test_cache_eviction_respects_capacity(cold_catalog, lake_tables):
+    service = LakeService(cold_catalog, cache_size=2)
+    probes = [
+        table.with_columns(table.columns, name=f"probe{i}")
+        for i, table in enumerate(list(lake_tables.values())[:3])
+    ]
+    for probe in probes:
+        service.query(probe, k=2)
+    assert len(service._cache) == 2
+    assert service._cache.get(table_digest(probes[0])) is None
+
+
+def test_query_validation(cold_catalog, lake_tables):
+    service = LakeService(cold_catalog)
+    with pytest.raises(ValueError, match="query mode"):
+        service.query("g0t0", mode="merge")
+    with pytest.raises(KeyError, match="not in catalog"):
+        service.query("missing")
+    with pytest.raises(KeyError, match="no column"):
+        service.query("g0t0", mode="join", column="ghost")
+
+
+def test_query_batch_shares_cache(cold_catalog, lake_tables):
+    service = LakeService(cold_catalog)
+    probe = lake_tables["g0t1"].with_columns(
+        lake_tables["g0t1"].columns, name="probe"
+    )
+    results = service.query_batch([probe, probe, "g0t0"], mode="subset", k=3)
+    assert len(results) == 3
+    assert results[0] == results[1]
+    assert service._cache.hits == 1
+    assert service.stats()["queries_served"] == 3
+
+
+def test_concurrent_reads_are_consistent(cold_catalog):
+    service = LakeService(cold_catalog)
+    names = cold_catalog.table_names()
+    expected = {name: service.query(name, mode="union", k=4) for name in names}
+    failures: list[str] = []
+
+    def worker():
+        for _ in range(5):
+            for name in names:
+                if service.query(name, mode="union", k=4) != expected[name]:
+                    failures.append(name)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not failures
+
+
+def test_stats_shape(tmp_path, lake_embedder, lake_tables):
+    store = LakeStore(tmp_path, "fp")
+    catalog = LakeCatalog(lake_embedder, store=store)
+    service = LakeService(catalog)
+    service.add_table(next(iter(lake_tables.values())))
+    stats = service.stats()
+    assert stats["n_tables"] == 1
+    assert stats["store"]["n_tables"] == 1
+    assert stats["queries_served"] == 0

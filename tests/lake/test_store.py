@@ -1,0 +1,126 @@
+"""On-disk `LakeStore` persistence: exact round-trips, replacement, removal,
+manifest-order determinism."""
+
+import numpy as np
+import pytest
+
+from repro.lake.store import LakeStore, LakeTableRecord
+from repro.sketch.pipeline import sketch_table
+
+
+def _record(table, config, seed=0):
+    sketch = sketch_table(table, config)
+    rng = np.random.default_rng(seed)
+    return LakeTableRecord(
+        sketch=sketch,
+        column_vectors=rng.normal(size=(sketch.n_cols, 8)),
+        table_embedding=rng.normal(size=8),
+        n_rows=table.n_rows,
+        metadata={"source": "test"},
+    )
+
+
+def test_save_load_roundtrip_bit_exact(tmp_path, city_table, tiny_sketch_config):
+    store = LakeStore(tmp_path, "fp")
+    record = _record(city_table, tiny_sketch_config)
+    store.save_table(record)
+
+    reopened = LakeStore.open(tmp_path, expected_fingerprint="fp")
+    loaded = reopened.load_table("cities")
+    assert np.array_equal(loaded.column_vectors, record.column_vectors)
+    assert np.array_equal(loaded.table_embedding, record.table_embedding)
+    assert loaded.n_rows == record.n_rows
+    assert loaded.metadata == {"source": "test"}
+    assert loaded.column_names == record.column_names
+    assert np.array_equal(
+        loaded.sketch.snapshot.signature, record.sketch.snapshot.signature
+    )
+
+
+def test_save_replaces_existing_entry(tmp_path, city_table, tiny_sketch_config):
+    store = LakeStore(tmp_path, "fp")
+    first = _record(city_table, tiny_sketch_config, seed=1)
+    second = _record(city_table, tiny_sketch_config, seed=2)
+    store.save_table(first)
+    store.save_table(second)
+    assert len(store) == 1
+    loaded = store.load_table("cities")
+    assert np.array_equal(loaded.column_vectors, second.column_vectors)
+
+
+def test_remove_table_deletes_artifact(tmp_path, city_table, tiny_sketch_config):
+    store = LakeStore(tmp_path, "fp")
+    store.save_table(_record(city_table, tiny_sketch_config))
+    npz_files = list((tmp_path / "tables").glob("*.npz"))
+    assert len(npz_files) == 1
+    assert store.remove_table("cities")
+    assert not store.remove_table("cities")
+    assert "cities" not in store
+    assert not npz_files[0].exists()
+
+
+def test_load_all_preserves_insertion_order(
+    tmp_path, city_table, product_table, mixed_table, tiny_sketch_config
+):
+    store = LakeStore(tmp_path, "fp")
+    for table in (product_table, city_table, mixed_table):
+        store.save_table(_record(table, tiny_sketch_config))
+    names = [record.name for record in store.load_all()]
+    assert names == ["products", "cities", "mixed"]
+    # Order survives a reopen too (insertion order, not alphabetical).
+    reopened = LakeStore.open(tmp_path)
+    assert reopened.table_names() == names
+
+
+def test_missing_table_and_manifest_errors(tmp_path, tiny_sketch_config):
+    with pytest.raises(FileNotFoundError, match="manifest"):
+        LakeStore.open(tmp_path / "nowhere")
+    store = LakeStore(tmp_path, "fp")
+    with pytest.raises(KeyError, match="ghost"):
+        store.load_table("ghost")
+
+
+def test_stats_counts(tmp_path, city_table, product_table, tiny_sketch_config):
+    store = LakeStore(tmp_path, "fp")
+    store.save_table(_record(city_table, tiny_sketch_config))
+    store.save_table(_record(product_table, tiny_sketch_config))
+    stats = store.stats()
+    assert stats["n_tables"] == 2
+    assert stats["n_columns"] == city_table.n_cols + product_table.n_cols
+    assert stats["n_rows"] == city_table.n_rows + product_table.n_rows
+    assert stats["disk_bytes"] > 0
+    assert stats["fingerprint"] == "fp"
+
+
+def test_failed_array_write_leaves_manifest_clean(
+    tmp_path, city_table, product_table, tiny_sketch_config, monkeypatch
+):
+    """A np.savez failure mid-save must not leave a half-built manifest
+    entry that a later flush would persist."""
+    store = LakeStore(tmp_path, "fp")
+    store.save_table(_record(city_table, tiny_sketch_config))
+    monkeypatch.setattr(np, "savez", lambda *a, **k: (_ for _ in ()).throw(OSError("disk full")))
+    with pytest.raises(OSError, match="disk full"):
+        store.save_table(_record(product_table, tiny_sketch_config))
+    monkeypatch.undo()
+    # The failed table never entered the manifest, in memory or on disk.
+    assert store.table_names() == ["cities"]
+    store.save_table(_record(product_table, tiny_sketch_config))
+    reopened = LakeStore.open(tmp_path)
+    assert reopened.table_names() == ["cities", "products"]
+    for record in reopened.load_all():  # every entry fully loadable
+        assert record.column_vectors.shape[0] == record.sketch.n_cols
+
+
+def test_save_tables_batch_single_flush(
+    tmp_path, city_table, product_table, mixed_table, tiny_sketch_config
+):
+    store = LakeStore(tmp_path, "fp")
+    records = [
+        _record(t, tiny_sketch_config)
+        for t in (city_table, product_table, mixed_table)
+    ]
+    store.save_tables(records)
+    assert store.table_names() == ["cities", "products", "mixed"]
+    reopened = LakeStore.open(tmp_path)
+    assert reopened.table_names() == ["cities", "products", "mixed"]

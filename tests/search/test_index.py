@@ -72,3 +72,59 @@ def test_matches_bruteforce():
     expected = np.argsort(np.linalg.norm(vectors - query, axis=1))[:5].tolist()
     got = [k for k, _ in index.query(query, k=5)]
     assert got == expected
+
+
+def test_add_many_matches_sequential_adds():
+    rng = np.random.default_rng(2)
+    vectors = rng.normal(size=(20, 4))
+    one_by_one = KnnIndex(dim=4)
+    bulk = KnnIndex(dim=4)
+    for i, vector in enumerate(vectors):
+        one_by_one.add(i, vector)
+    bulk.add_many([(i, vector) for i, vector in enumerate(vectors)])
+    query = rng.normal(size=4)
+    assert bulk.query(query, k=7) == one_by_one.query(query, k=7)
+    assert len(bulk) == 20
+
+
+def test_append_does_not_restack(monkeypatch):
+    """Appends must not rebuild the whole matrix: capacity is reused and the
+    query path sees a view, not a fresh stack."""
+    index = KnnIndex(dim=2, metric="euclidean")
+    index.add_many([(i, np.array([float(i), 0.0])) for i in range(5)])
+    buffer_before = index._data
+    index.add(5, np.array([5.0, 0.0]))  # capacity 8 buffer absorbs it
+    assert index._data is buffer_before
+    hits = index.query(np.array([5.0, 0.0]), k=1)
+    assert hits[0][0] == 5
+
+
+def test_remove_key_compacts():
+    index = KnnIndex(dim=2, metric="euclidean")
+    for i in range(6):
+        index.add(f"k{i}", np.array([float(i), 0.0]))
+    assert index.remove("k2") == 1
+    assert index.remove("k2") == 0
+    assert len(index) == 5
+    assert "k2" not in index
+    hits = [key for key, _ in index.query(np.array([2.0, 0.0]), k=6)]
+    assert "k2" not in hits and len(hits) == 5
+
+
+def test_remove_many_batch():
+    index = KnnIndex(dim=2, metric="euclidean")
+    for i in range(8):
+        index.add(i, np.array([float(i), 0.0]))
+    assert index.remove_many([1, 3, 5, 99]) == 3
+    assert index.keys() == [0, 2, 4, 6, 7]
+    got = [key for key, _ in index.query(np.array([0.0, 0.0]), k=8)]
+    assert got == [0, 2, 4, 6, 7]
+
+
+def test_add_after_remove_reuses_slots():
+    index = KnnIndex(dim=2, metric="euclidean")
+    index.add_many([(i, np.array([float(i), 0.0])) for i in range(4)])
+    index.remove_many([0, 1])
+    index.add("new", np.array([10.0, 0.0]))
+    assert len(index) == 3
+    assert index.query(np.array([10.0, 0.0]), k=1)[0][0] == "new"

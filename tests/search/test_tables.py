@@ -61,3 +61,29 @@ def test_rank2_breaks_ties_by_distance():
     # Both matched 1 column; the tie broke on summed distance.
     assert ranked[0][1] == ranked[1][1] == 1
     assert ranked[0][2] < ranked[1][2]
+
+
+def test_remove_table_incremental_matches_fresh_build():
+    rng = np.random.default_rng(3)
+    vectors = {f"t{i}": rng.normal(size=(3, 4)) for i in range(5)}
+
+    mutated = TableSearcher(dim=4)
+    fresh = TableSearcher(dim=4)
+    for name, block in vectors.items():
+        mutated.add_table(name, ["a", "b", "c"], block)
+        if name != "t2":
+            fresh.add_table(name, ["a", "b", "c"], block)
+    assert mutated.remove_table("t2") == 3
+    assert mutated.remove_table("t2") == 0
+    assert not mutated.has_table("t2")
+    assert mutated.n_tables == 4
+
+    query = rng.normal(size=(2, 4))
+    assert mutated.near_tables(query, k=4) == fresh.near_tables(query, k=4)
+
+
+def test_exclude_table_does_not_pollute_registry():
+    searcher = TableSearcher(dim=2)
+    searcher.add_table("only", ["a"], np.ones((1, 2)))
+    searcher.knn_columns(np.ones(2), k=1, exclude_table="ghost")
+    assert searcher.table_names() == ["only"]
