@@ -129,11 +129,13 @@ def finetune_baseline(
     dataset: TablePairDataset,
     seed: int = 0,
     epochs: int = 6,
+    dropout: float = 0.1,
 ) -> tuple[float, DualEncoderTrainer]:
     """Train one of the Table-II baselines with the dual-encoder recipe."""
     tokenizer = corpus_tokenizer(dataset.tables)
     model, spec = make_baseline(
-        name, tokenizer, dataset.task, dataset.num_outputs, dim=24, seed=seed
+        name, tokenizer, dataset.task, dataset.num_outputs, dim=24, seed=seed,
+        dropout=dropout,
     )
     trainer = DualEncoderTrainer(
         model, spec, epochs=epochs, batch_size=8, learning_rate=5e-3,

@@ -30,6 +30,7 @@ EXPERIMENT_ORDER = [
     "pretraining_stats",
     "sketch_micro",
     "lake_service",
+    "embed_engine",
 ]
 
 

@@ -64,7 +64,8 @@ class DualEncoderModel(Module):
     """Shared trunk over both tables + 2-layer MLP head on ``[e(A); e(B)]``."""
 
     def __init__(self, trunk: TextTableEncoder, task: TaskType, num_outputs: int,
-                 frozen_trunk: bool = False, hidden: int = 64, seed: int = 0):
+                 frozen_trunk: bool = False, hidden: int = 64, seed: int = 0,
+                 dropout: float = 0.1):
         super().__init__()
         self.trunk = trunk
         self.task = task
@@ -72,7 +73,7 @@ class DualEncoderModel(Module):
         self.frozen_trunk = frozen_trunk
         rng = spawn_rng(seed, "dual-encoder-head")
         self.head_in = Linear(2 * trunk.dim, hidden, rng=rng)
-        self.head_dropout = Dropout(0.1, rng=rng)
+        self.head_dropout = Dropout(dropout, rng=rng)
         self.head_out = Linear(hidden, num_outputs, rng=rng)
 
     def trainable_parameters(self):
@@ -105,13 +106,14 @@ class DualEncoderModel(Module):
 
 def make_baseline(
     name: str, tokenizer: WordPieceTokenizer, task: TaskType, num_outputs: int,
-    dim: int = 48, seed: int = 0,
+    dim: int = 48, seed: int = 0, dropout: float = 0.1,
 ) -> tuple[DualEncoderModel, BaselineSpec]:
     """Instantiate one Table-II baseline by name."""
     spec = BASELINE_FACTORIES[name]
-    trunk = TextTableEncoder(tokenizer, dim=dim, seed=seed)
+    trunk = TextTableEncoder(tokenizer, dim=dim, seed=seed, dropout=dropout)
     model = DualEncoderModel(
-        trunk, task, num_outputs, frozen_trunk=spec.frozen_trunk, seed=seed
+        trunk, task, num_outputs, frozen_trunk=spec.frozen_trunk, seed=seed,
+        dropout=dropout,
     )
     return model, spec
 

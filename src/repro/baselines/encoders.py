@@ -70,7 +70,7 @@ class TextTableEncoder(Module):
 
     def __init__(self, tokenizer: WordPieceTokenizer, dim: int = 48,
                  num_layers: int = 1, num_heads: int = 4, max_seq_len: int = 96,
-                 seed: int = 0):
+                 seed: int = 0, dropout: float = 0.1):
         super().__init__()
         self.tokenizer = tokenizer
         self.max_seq_len = max_seq_len
@@ -84,7 +84,7 @@ class TextTableEncoder(Module):
         self.encoder = TransformerEncoder(
             TransformerEncoderConfig(
                 dim=dim, num_layers=num_layers, num_heads=num_heads,
-                ffn_dim=2 * dim, dropout=0.1, seed=seed,
+                ffn_dim=2 * dim, dropout=dropout, seed=seed,
             )
         )
 

@@ -11,7 +11,10 @@
   augmentation and the MLM pre-training loop (§III-C, Figs. 2a/3).
 - :mod:`repro.core.finetune` — cross-encoders for binary / regression /
   multi-label LakeBench tasks (§III-D, Fig. 2b).
-- :mod:`repro.core.embed` — table/column embedding extraction for search and
+- :mod:`repro.core.engine` — the batched ``EmbeddingEngine``: one shared
+  forward per batch produces table *and* column embeddings, with dynamic
+  padding and length bucketing for lake-scale offline indexing.
+- :mod:`repro.core.embed` — per-table embedding shim over the engine and
   the normalized SBERT-concatenation of §IV-C (TabSketchFM-SBERT).
 - :mod:`repro.core.ablation` — the sketch subsets used in Tables III/IV.
 """
@@ -34,6 +37,7 @@ from repro.core.finetune import (
     TaskType,
 )
 from repro.core.embed import TableEmbedder, concat_normalized
+from repro.core.engine import EmbeddingEngine, TableEmbeddings, sketch_corpus
 from repro.core.searcher import DualEncoderSearcher, TabSketchFMSearcher
 from repro.core.ablation import ablation_selections
 
@@ -56,6 +60,9 @@ __all__ = [
     "TaskType",
     "TableEmbedder",
     "concat_normalized",
+    "EmbeddingEngine",
+    "TableEmbeddings",
+    "sketch_corpus",
     "DualEncoderSearcher",
     "TabSketchFMSearcher",
     "ablation_selections",

@@ -14,18 +14,29 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.engine import EmbeddingEngine
 from repro.core.inputs import InputEncoder
 from repro.core.model import TabSketchFM
-from repro.nn.tensor import no_grad
 from repro.sketch.pipeline import TableSketch
 
 
 class TableEmbedder:
-    """Extracts table- and column-level embeddings from a (fine-tuned) trunk."""
+    """Per-table embedding API — a compatibility shim over the batched
+    :class:`~repro.core.engine.EmbeddingEngine` (each call is a batch of
+    one, so table and column embeddings still come from a single forward).
+
+    Column embeddings are the first+last-layer average over the column's
+    token span — the standard "first-last-avg" recipe from the
+    sentence-embedding literature: the input layer carries the undiluted
+    sketch geometry (value overlap), the last layer carries table context.
+    Columns beyond the encoder's sequence budget fall back to the table
+    embedding, which the shared forward has already produced.
+    """
 
     def __init__(self, model: TabSketchFM, encoder: InputEncoder):
         self.model = model
         self.encoder = encoder
+        self.engine = EmbeddingEngine(model, encoder)
 
     @property
     def dim(self) -> int:
@@ -34,71 +45,46 @@ class TableEmbedder:
     # ------------------------------------------------------------------ #
     def table_embedding(self, sketch: TableSketch) -> np.ndarray:
         """Pooler output for a single-table input, shape ``(dim,)``."""
-        encoding = self.encoder.encode_single(sketch)
-        from repro.core.inputs import batch_encodings
-
-        self.model.eval()
-        with no_grad():
-            hidden = self.model(batch_encodings([encoding]))
-            pooled = self.model.pool(hidden)
-        return pooled.numpy()[0].copy()
+        return self.engine.embed_batch([sketch])[0].table
 
     def column_embeddings(self, sketch: TableSketch) -> np.ndarray:
-        """Per-column embeddings: first+last-layer average over the column's
-        token span, shape ``(n_cols, dim)``.
-
-        Averaging the input-layer states with the final contextual states is
-        the standard "first-last-avg" recipe from the sentence-embedding
-        literature: the input layer carries the undiluted sketch geometry
-        (value overlap), the last layer carries table context. At full paper
-        scale the fine-tuned trunk preserves both in its last layer; our
-        laptop-scale trunk needs the explicit residual emphasis.
-
-        Columns beyond the encoder's sequence budget fall back to the table
-        embedding (rare at our scales; keeps output aligned with the sketch).
-        """
-        encoded = self.encoder.encode_table(sketch)
-        segments = np.zeros(encoded.length, dtype=np.int64)
-        encoding = self.encoder._finalize(
-            encoded.token_ids,
-            encoded.token_positions,
-            encoded.column_positions,
-            encoded.column_types,
-            segments,
-            encoded.minhash,
-            encoded.numeric,
-        )
-        from repro.core.inputs import batch_encodings
-
-        self.model.eval()
-        with no_grad():
-            batch = batch_encodings([encoding])
-            embedded = self.model.embed_inputs(batch)
-            contextual = self.model.encoder(embedded, batch["attention_mask"])
-            hidden = ((embedded + contextual) * 0.5).numpy()[0]
-        max_len = self.encoder.config.max_seq_len
-        fallback = None
-        out = np.zeros((sketch.n_cols, self.dim))
-        for i, span in enumerate(encoded.spans):
-            stop = min(span.stop, max_len)
-            if span.start < max_len and stop > span.start:
-                out[i] = hidden[span.start : stop].mean(axis=0)
-            else:
-                if fallback is None:
-                    fallback = self.table_embedding(sketch)
-                out[i] = fallback
-        for i in range(len(encoded.spans), sketch.n_cols):
-            if fallback is None:
-                fallback = self.table_embedding(sketch)
-            out[i] = fallback
-        return out
+        """Per-column embeddings, shape ``(n_cols, dim)`` (see class doc)."""
+        return self.engine.embed_batch([sketch])[0].columns
 
     # ------------------------------------------------------------------ #
     def table_embeddings(self, sketches: list[TableSketch]) -> np.ndarray:
-        """Stacked table embeddings, shape ``(n_tables, dim)``."""
-        if not sketches:
-            return np.zeros((0, self.dim))
-        return np.stack([self.table_embedding(s) for s in sketches])
+        """Stacked table embeddings, shape ``(n_tables, dim)`` — batched."""
+        return self.engine.table_embeddings(sketches)
+
+
+def finalize_column_vectors(
+    columns: np.ndarray,
+    sketch: TableSketch,
+    sbert=None,
+    table=None,
+) -> list[tuple[str, np.ndarray]]:
+    """Index-ready ``(column, vector)`` pairs: trunk columns ‖ optional
+    SBERT value half.
+
+    The single shared construction behind both
+    :meth:`repro.lake.catalog.LakeCatalog.column_vector_pairs` and
+    :class:`repro.core.searcher.TabSketchFMSearcher`, so lake answers match
+    the one-shot pipeline bit-for-bit. The SBERT half needs raw cell values:
+    with ``sbert`` set and no ``table``, this raises a clear ``ValueError``.
+    """
+    if sbert is not None and table is None:
+        raise ValueError(
+            f"table {sketch.table_name!r} has no Table object but sbert is "
+            "enabled; the SBERT half needs raw cell values"
+        )
+    out: list[tuple[str, np.ndarray]] = []
+    for index, column_sketch in enumerate(sketch.column_sketches):
+        vector = columns[index]
+        if sbert is not None:
+            value_vec = sbert.encode_column(table.column(column_sketch.name))
+            vector = concat_normalized(vector, value_vec)
+        out.append((column_sketch.name, vector))
+    return out
 
 
 def standardize(vector: np.ndarray) -> np.ndarray:

@@ -108,9 +108,17 @@ class Finetuner:
 
     # ------------------------------------------------------------------ #
     def encode_pairs(self, pairs: list[PairExample]) -> list[tuple[PairEncoding, object]]:
+        # Natural-length encodings; each batch pads to its own max length
+        # (dynamic padding) instead of the global max_seq_len.
         return [
-            (self.encoder.encode_pair(p.first, p.second), p.label) for p in pairs
+            (self.encoder.encode_pair(p.first, p.second, pad=False), p.label)
+            for p in pairs
         ]
+
+    def _batch(self, encodings: list[PairEncoding]) -> dict[str, np.ndarray]:
+        return batch_encodings(
+            encodings, pad_token_id=self.encoder.tokenizer.vocabulary.pad_id
+        )
 
     def _labels_array(self, labels: list[object]) -> np.ndarray:
         if self.model.task == TaskType.BINARY:
@@ -127,7 +135,7 @@ class Finetuner:
         total, count = 0.0, 0
         for start in range(0, len(data), batch_size):
             chunk = [data[i] for i in order[start : start + batch_size]]
-            batch = batch_encodings([enc for enc, _ in chunk])
+            batch = self._batch([enc for enc, _ in chunk])
             labels = self._labels_array([label for _, label in chunk])
             if train:
                 self.model.train()
@@ -195,7 +203,7 @@ class Finetuner:
         with no_grad():
             for start in range(0, len(data), batch_size):
                 chunk = [enc for enc, _ in data[start : start + batch_size]]
-                logits = self.model(batch_encodings(chunk)).numpy()
+                logits = self.model(self._batch(chunk)).numpy()
                 if self.model.task == TaskType.BINARY:
                     outputs.append(np.argmax(logits, axis=-1))
                 elif self.model.task == TaskType.REGRESSION:

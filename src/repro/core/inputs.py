@@ -183,8 +183,13 @@ class InputEncoder:
         )
 
     # ------------------------------------------------------------------ #
-    def encode_single(self, sketch: TableSketch) -> PairEncoding:
-        """A single-table input padded/truncated to ``max_seq_len``."""
+    def encode_single(self, sketch: TableSketch, pad: bool = True) -> PairEncoding:
+        """A single-table input padded/truncated to ``max_seq_len``.
+
+        With ``pad=False`` the encoding keeps its natural (truncated) length;
+        :func:`batch_encodings` then pads to the batch max — the dynamic
+        padding path used by :class:`repro.core.engine.EmbeddingEngine`.
+        """
         encoded = self.encode_table(sketch)
         segments = np.zeros(encoded.length, dtype=np.int64)
         return self._finalize(
@@ -195,9 +200,12 @@ class InputEncoder:
             segments,
             encoded.minhash,
             encoded.numeric,
+            target_length=None if pad else encoded.length,
         )
 
-    def encode_pair(self, first: TableSketch, second: TableSketch) -> PairEncoding:
+    def encode_pair(
+        self, first: TableSketch, second: TableSketch, pad: bool = True
+    ) -> PairEncoding:
         """A cross-encoder pair input: ``[CLS] A ... [SEP] B ...`` (Fig. 2b)."""
         from repro.sketch.interactions import interaction_features
 
@@ -217,16 +225,29 @@ class InputEncoder:
         return self._finalize(
             token_ids, token_positions, column_positions, column_types,
             segments, minhash, numeric, interaction=interaction,
+            target_length=None if pad else len(token_ids),
         )
 
     # ------------------------------------------------------------------ #
     def _finalize(self, token_ids, token_positions, column_positions,
                   column_types, segments, minhash, numeric,
-                  interaction: np.ndarray | None = None) -> PairEncoding:
+                  interaction: np.ndarray | None = None,
+                  target_length: int | None = None) -> PairEncoding:
+        """Pad/truncate the aligned arrays to ``target_length``.
+
+        ``target_length=None`` keeps the historical fixed-width behaviour
+        (pad to ``max_seq_len``); any explicit value is clamped to
+        ``max_seq_len``, so callers can pass the natural sequence length and
+        let :func:`batch_encodings` pad to the batch max instead of the
+        global worst case (attention is O(S²) — short tables should not pay
+        full-sequence cost).
+        """
         from repro.sketch.interactions import INTERACTION_DIM
         config = self.config
         pad_id = self.tokenizer.vocabulary.pad_id
         seq = config.max_seq_len
+        if target_length is not None:
+            seq = max(1, min(int(target_length), seq))
         length = min(len(token_ids), seq)
 
         def pad_ints(arr: np.ndarray, fill: int = 0) -> np.ndarray:
@@ -256,16 +277,64 @@ class InputEncoder:
         )
 
 
-def batch_encodings(encodings: list[PairEncoding]) -> dict[str, np.ndarray]:
-    """Stack a list of equal-length encodings into batched arrays."""
+def batch_encodings(
+    encodings: list[PairEncoding],
+    target_length: int | None = None,
+    pad_token_id: int = 0,
+) -> dict[str, np.ndarray]:
+    """Stack encodings into batched arrays, padding ragged ones to the max.
+
+    Equal-length inputs (the historical contract) are stacked directly.
+    Ragged inputs — encodings finalized at their natural length — are padded
+    to ``target_length`` (default: the batch max): integer signals get
+    ``pad_token_id``/0, float signals get zeros, and the attention mask is
+    extended with zeros so padded positions stay invisible to attention.
+    """
+    lengths = [e.length for e in encodings]
+    target = max(lengths) if target_length is None else int(target_length)
+    if target < max(lengths):
+        raise ValueError(
+            f"target_length {target} shorter than longest encoding {max(lengths)}"
+        )
+    if all(length == target for length in lengths):
+        return {
+            "token_ids": np.stack([e.token_ids for e in encodings]),
+            "token_positions": np.stack([e.token_positions for e in encodings]),
+            "column_positions": np.stack([e.column_positions for e in encodings]),
+            "column_types": np.stack([e.column_types for e in encodings]),
+            "segment_ids": np.stack([e.segment_ids for e in encodings]),
+            "minhash": np.stack([e.minhash for e in encodings]),
+            "numeric": np.stack([e.numeric for e in encodings]),
+            "attention_mask": np.stack([e.attention_mask for e in encodings]),
+            "interaction": np.stack([e.interaction for e in encodings]),
+        }
+
+    n = len(encodings)
+
+    def pad_ints(field: str, fill: int = 0) -> np.ndarray:
+        out = np.full((n, target), fill, dtype=np.int64)
+        for i, e in enumerate(encodings):
+            out[i, : e.length] = getattr(e, field)
+        return out
+
+    def pad_floats(field: str) -> np.ndarray:
+        width = getattr(encodings[0], field).shape[1]
+        out = np.zeros((n, target, width), dtype=np.float64)
+        for i, e in enumerate(encodings):
+            out[i, : e.length] = getattr(e, field)
+        return out
+
+    mask = np.zeros((n, target), dtype=np.float64)
+    for i, e in enumerate(encodings):
+        mask[i, : e.length] = e.attention_mask
     return {
-        "token_ids": np.stack([e.token_ids for e in encodings]),
-        "token_positions": np.stack([e.token_positions for e in encodings]),
-        "column_positions": np.stack([e.column_positions for e in encodings]),
-        "column_types": np.stack([e.column_types for e in encodings]),
-        "segment_ids": np.stack([e.segment_ids for e in encodings]),
-        "minhash": np.stack([e.minhash for e in encodings]),
-        "numeric": np.stack([e.numeric for e in encodings]),
-        "attention_mask": np.stack([e.attention_mask for e in encodings]),
+        "token_ids": pad_ints("token_ids", pad_token_id),
+        "token_positions": pad_ints("token_positions"),
+        "column_positions": pad_ints("column_positions"),
+        "column_types": pad_ints("column_types"),
+        "segment_ids": pad_ints("segment_ids"),
+        "minhash": pad_floats("minhash"),
+        "numeric": pad_floats("numeric"),
+        "attention_mask": mask,
         "interaction": np.stack([e.interaction for e in encodings]),
     }

@@ -110,6 +110,8 @@ def make_masked_examples(
                 token_ids[position] = vocab.mask_id
 
         segments = np.zeros(encoded.length, dtype=np.int64)
+        # Natural-length encoding: each training batch pads to its own max
+        # (dynamic padding) instead of the global max_seq_len.
         encoding = encoder._finalize(
             token_ids,
             encoded.token_positions,
@@ -118,11 +120,10 @@ def make_masked_examples(
             segments,
             encoded.minhash,
             encoded.numeric,
+            target_length=encoded.length,
         )
-        padded_labels = np.full(encoder.config.max_seq_len, IGNORE_INDEX, dtype=np.int64)
         usable = min(encoded.length, encoder.config.max_seq_len)
-        padded_labels[:usable] = labels[:usable]
-        examples.append(MaskedExample(encoding=encoding, labels=padded_labels))
+        examples.append(MaskedExample(encoding=encoding, labels=labels[:usable]))
     return examples
 
 
@@ -170,10 +171,16 @@ class Pretrainer:
         batch_size = self.config.batch_size
         order = rng.permutation(len(examples)) if train else np.arange(len(examples))
         total, count = 0.0, 0
+        pad_id = self.encoder.tokenizer.vocabulary.pad_id
         for start in range(0, len(examples), batch_size):
             chunk = [examples[i] for i in order[start : start + batch_size]]
-            batch = batch_encodings([ex.encoding for ex in chunk])
-            labels = np.stack([ex.labels for ex in chunk])
+            batch = batch_encodings(
+                [ex.encoding for ex in chunk], pad_token_id=pad_id
+            )
+            seq = batch["token_ids"].shape[1]
+            labels = np.full((len(chunk), seq), IGNORE_INDEX, dtype=np.int64)
+            for row, ex in enumerate(chunk):
+                labels[row, : ex.labels.shape[0]] = ex.labels
             if train:
                 self.model.train()
                 optimizer.zero_grad()

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.embed import TableEmbedder, concat_normalized
+from repro.core.embed import TableEmbedder, finalize_column_vectors
 from repro.lakebench.base import SearchQuery
 from repro.search.index import KnnIndex
 from repro.search.tables import TableSearcher
@@ -39,6 +39,12 @@ class TabSketchFMSearcher:
     ):
         """Index ``sketches`` for retrieval.
 
+        The corpus build is batched: every sketch without precomputed
+        vectors goes through one
+        :meth:`repro.core.engine.EmbeddingEngine.embed_corpus` call —
+        ``ceil(N / batch_size)`` trunk forwards instead of one (or more)
+        per table.
+
         With ``precomputed`` (table -> ordered ``(column, vector)`` list, as
         produced by a warm :class:`repro.lake.store.LakeStore`), the given
         vectors are indexed as-is and the trunk is never run — the offline
@@ -54,11 +60,26 @@ class TabSketchFMSearcher:
         dim = embedder.dim + (sbert.dim if sbert else 0)
         self.searcher = TableSearcher(dim)
         self._column_vectors: dict[tuple[str, str], np.ndarray] = {}
+        fresh = [
+            table_name
+            for table_name in self.sketches
+            if precomputed is None or table_name not in precomputed
+        ]
+        embedded = (
+            embedder.engine.embed_corpus([self.sketches[n] for n in fresh])
+            if fresh
+            else []
+        )
+        columns_by_name = {
+            name_: result.columns for name_, result in zip(fresh, embedded)
+        }
         for table_name, sketch in self.sketches.items():
-            if precomputed is not None and table_name in precomputed:
-                vectors = precomputed[table_name]
+            if table_name in columns_by_name:
+                vectors = self._finalize_vectors(
+                    table_name, sketch, columns_by_name[table_name]
+                )
             else:
-                vectors = self._table_column_vectors(table_name, sketch)
+                vectors = precomputed[table_name]
             self._index_vectors(table_name, vectors)
 
     # ------------------------------------------------------------------ #
@@ -110,21 +131,29 @@ class TabSketchFMSearcher:
         self.searcher.remove_table(table_name)
 
     # ------------------------------------------------------------------ #
+    def _finalize_vectors(
+        self, table_name: str, sketch: TableSketch, embeddings: np.ndarray
+    ) -> list[tuple[str, np.ndarray]]:
+        """Attach the optional SBERT value half to trunk column embeddings."""
+        # Raw cell values are only needed for the SBERT half; sketch-only
+        # indexing works without the Table object (e.g. warm-store paths).
+        table = self.tables.get(table_name) if self.sbert is not None else None
+        if self.sbert is not None and table is None:
+            raise ValueError(
+                f"table {table_name!r} has no Table object but sbert is "
+                "enabled; the SBERT half needs raw cell values — pass "
+                "`table=` (or precomputed `vectors=`) when indexing"
+            )
+        return finalize_column_vectors(
+            embeddings, sketch, sbert=self.sbert, table=table
+        )
+
     def _table_column_vectors(
         self, table_name: str, sketch: TableSketch
     ) -> list[tuple[str, np.ndarray]]:
-        embeddings = self.embedder.column_embeddings(sketch)
-        out: list[tuple[str, np.ndarray]] = []
-        # Raw cell values are only needed for the SBERT half; sketch-only
-        # indexing works without the Table object (e.g. warm-store paths).
-        table = self.tables[table_name] if self.sbert is not None else None
-        for index, column_sketch in enumerate(sketch.column_sketches):
-            vector = embeddings[index]
-            if self.sbert is not None:
-                value_vec = self.sbert.encode_column(table.column(column_sketch.name))
-                vector = concat_normalized(vector, value_vec)
-            out.append((column_sketch.name, vector))
-        return out
+        return self._finalize_vectors(
+            table_name, sketch, self.embedder.column_embeddings(sketch)
+        )
 
     def _query_vectors(self, query: SearchQuery) -> np.ndarray:
         sketch = self.sketches[query.table]
@@ -159,8 +188,14 @@ class DualEncoderSearcher:
         dim = trainer.model.trunk.dim
         if table_level:
             self.table_index = KnnIndex(dim)
+            #: Memoized per-table query embeddings — the corpus build already
+            #: paid for every member table, and `retrieve` must not recompute
+            #: the same frozen embedding on every call.
+            self._table_vectors: dict[str, np.ndarray] = {}
             for table_name, table in tables.items():
-                self.table_index.add(table_name, trainer.table_embedding(table))
+                vector = trainer.table_embedding(table)
+                self._table_vectors[table_name] = vector
+                self.table_index.add(table_name, vector)
         else:
             self.searcher = TableSearcher(dim)
             self._column_vectors: dict[tuple[str, str], np.ndarray] = {}
@@ -172,8 +207,10 @@ class DualEncoderSearcher:
 
     def retrieve(self, query: SearchQuery, k: int) -> list[str]:
         if self.table_level:
-            table = self.tables[query.table]
-            vector = self.trainer.table_embedding(table)
+            vector = self._table_vectors.get(query.table)
+            if vector is None:
+                vector = self.trainer.table_embedding(self.tables[query.table])
+                self._table_vectors[query.table] = vector
             hits = self.table_index.query(vector, k + 1)
             return [key for key, _ in hits if key != query.table][:k]
         if query.column is not None:

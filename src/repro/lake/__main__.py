@@ -88,11 +88,16 @@ def cmd_ingest(args: argparse.Namespace) -> None:
         print(f"new lake at {args.lake} (fingerprint {fingerprint})")
     fresh = {t.name: t for t in tables if t.name not in catalog}
     skipped = len(tables) - len(fresh)
-    catalog.add_tables(fresh)
+    forwards_before = catalog.embed_calls
+    catalog.add_tables(
+        fresh, batch_size=args.batch_size, sketch_workers=args.sketch_workers
+    )
     added = len(fresh)
+    forwards = catalog.embed_calls - forwards_before
     elapsed = time.perf_counter() - started
     print(
-        f"ingested {added} tables ({skipped} already present) in {elapsed:.2f}s; "
+        f"ingested {added} tables ({skipped} already present) in {elapsed:.2f}s "
+        f"[{forwards} batched forwards @ batch {args.batch_size}]; "
         f"catalog now {len(catalog)} tables / "
         f"{catalog.stats()['n_columns']} columns"
     )
@@ -149,6 +154,14 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument(
         "--sbert-dim", type=int, default=0,
         help="enable the TabSketchFM-SBERT variant with this value-encoder dim",
+    )
+    ingest.add_argument(
+        "--batch-size", type=int, default=16,
+        help="tables per trunk forward during batched ingest",
+    )
+    ingest.add_argument(
+        "--sketch-workers", type=int, default=None,
+        help="threads for the parallel sketching stage (default: sequential)",
     )
     ingest.set_defaults(func=cmd_ingest)
 

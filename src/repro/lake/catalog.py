@@ -6,19 +6,25 @@ Holds every table's :class:`LakeTableRecord` plus the live column index
 
 - an **add** sketches and embeds *only the new table* and bulk-appends its
   column rows to the index (amortized O(cols) — no re-stack of the lake);
+- a **bulk add** routes the whole delta through the batched
+  :class:`~repro.core.engine.EmbeddingEngine`: N tables cost
+  ``ceil(N / batch_size)`` trunk forwards, each producing table *and*
+  column embeddings from one shared pass;
 - a **remove** compacts the index in one pass and never touches the trunk;
 - attached to a :class:`~repro.lake.store.LakeStore`, every mutation is
   persisted immediately, so the on-disk lake is always warm-loadable.
 
-``embed_calls`` counts trunk invocations — the observable guarantee that a
-1-table delta re-embeds one table and a warm load re-embeds none.
+``embed_calls`` counts trunk *forwards* — the observable guarantee that a
+1-table delta costs one forward, a batched ingest costs ``ceil(N/B)``, and
+a warm load costs none.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.embed import TableEmbedder, concat_normalized
+from repro.core.embed import TableEmbedder, finalize_column_vectors
+from repro.core.engine import TableEmbeddings, sketch_corpus
 from repro.lake.store import LakeStore, LakeTableRecord
 from repro.search.tables import TableSearcher
 from repro.sketch.pipeline import TableSketch, sketch_table
@@ -34,17 +40,20 @@ class LakeCatalog:
         embedder: TableEmbedder,
         sbert: HashedSentenceEncoder | None = None,
         store: LakeStore | None = None,
+        batch_size: int = 16,
     ):
         self.embedder = embedder
+        self.engine = embedder.engine
         self.sbert = sbert
         self.store = store
+        self.batch_size = batch_size
         self.sketch_config = embedder.model.config.sketch
         self._hasher = self.sketch_config.build_hasher()
         self.dim = embedder.dim + (sbert.dim if sbert else 0)
         self.searcher = TableSearcher(self.dim)
         self.records: dict[str, LakeTableRecord] = {}
-        #: Trunk invocations (one per table sketched+embedded); warm loads
-        #: and removals must not increment it.
+        #: Trunk forwards performed *by this catalog*; warm loads and
+        #: removals must not increment it.
         self.embed_calls = 0
 
     # ------------------------------------------------------------------ #
@@ -63,21 +72,44 @@ class LakeCatalog:
         return catalog
 
     # ------------------------------------------------------------------ #
-    def _compute_record(self, table: Table) -> LakeTableRecord:
-        sketch = sketch_table(table, self.sketch_config, self._hasher)
-        vectors = self.column_vector_pairs(table, sketch)
+    def _embed_sketches(
+        self, sketches: list[TableSketch], batch_size: int | None = None
+    ) -> list[TableEmbeddings]:
+        """Run the engine, charging its forwards to this catalog's counter.
+
+        The charge is computed as ``ceil(N / batch_size)`` rather than by
+        diffing the (possibly shared) engine counter: the service's query
+        path deliberately embeds outside its lock, so concurrent callers
+        must not see each other's forwards in ``embed_calls``.
+        """
+        if batch_size is None:
+            batch_size = self.batch_size
+        results = self.engine.embed_corpus(sketches, batch_size=batch_size)
+        self.embed_calls += -(-len(sketches) // batch_size)
+        return results
+
+    def _build_record(
+        self, table: Table, sketch: TableSketch, embeddings: TableEmbeddings
+    ) -> LakeTableRecord:
+        vectors = finalize_column_vectors(
+            embeddings.columns, sketch, sbert=self.sbert, table=table
+        )
         stacked = (
             np.stack([vector for _, vector in vectors])
             if vectors
             else np.zeros((0, self.dim))
         )
-        record = LakeTableRecord(
+        return LakeTableRecord(
             sketch=sketch,
             column_vectors=stacked,
-            table_embedding=self.embedder.table_embedding(sketch),
+            table_embedding=embeddings.table,
             n_rows=table.n_rows,
         )
-        return record
+
+    def _compute_record(self, table: Table) -> LakeTableRecord:
+        sketch = sketch_table(table, self.sketch_config, self._hasher)
+        embeddings = self._embed_sketches([sketch])[0]
+        return self._build_record(table, sketch, embeddings)
 
     def column_vector_pairs(
         self, table: Table, sketch: TableSketch
@@ -86,19 +118,13 @@ class LakeCatalog:
 
         Exactly the construction :class:`repro.core.searcher.TabSketchFMSearcher`
         applies, so lake answers match the one-shot pipeline bit-for-bit.
-        Counts as one ``embed_calls`` trunk invocation (the query path routes
+        One trunk forward (counted in ``embed_calls`` — the query path routes
         through here too, so cache effectiveness is observable).
         """
-        self.embed_calls += 1
-        embeddings = self.embedder.column_embeddings(sketch)
-        out: list[tuple[str, np.ndarray]] = []
-        for index, column_sketch in enumerate(sketch.column_sketches):
-            vector = embeddings[index]
-            if self.sbert is not None:
-                value_vec = self.sbert.encode_column(table.column(column_sketch.name))
-                vector = concat_normalized(vector, value_vec)
-            out.append((column_sketch.name, vector))
-        return out
+        embeddings = self._embed_sketches([sketch])[0]
+        return finalize_column_vectors(
+            embeddings.columns, sketch, sbert=self.sbert, table=table
+        )
 
     def _register(self, record: LakeTableRecord, persist: bool = True) -> None:
         self.records[record.name] = record
@@ -119,15 +145,31 @@ class LakeCatalog:
         self._register(record)
         return record
 
-    def add_tables(self, tables: dict[str, Table]) -> list[LakeTableRecord]:
-        """Bulk add with one manifest flush instead of one per table."""
-        records = []
+    def add_tables(
+        self,
+        tables: dict[str, Table],
+        batch_size: int | None = None,
+        sketch_workers: int | None = None,
+    ) -> list[LakeTableRecord]:
+        """Bulk add: batched embedding plus one manifest flush.
+
+        The whole delta is sketched (optionally across ``sketch_workers``
+        threads), then embedded in ``ceil(N / batch_size)`` length-bucketed
+        forwards — table and column embeddings come from the same pass.
+        """
         for table in tables.values():
             if table.name in self.records:
                 raise ValueError(
                     f"table {table.name!r} already in catalog; use update_table"
                 )
-            record = self._compute_record(table)
+        ordered = list(tables.values())
+        sketches = sketch_corpus(
+            ordered, self.sketch_config, self._hasher, workers=sketch_workers
+        )
+        embeddings = self._embed_sketches(sketches, batch_size=batch_size)
+        records = []
+        for table, sketch, embedding in zip(ordered, sketches, embeddings):
+            record = self._build_record(table, sketch, embedding)
             self._register(record, persist=False)
             records.append(record)
         if self.store is not None:
@@ -169,5 +211,6 @@ class LakeCatalog:
             "n_rows": sum(r.n_rows for r in self.records.values()),
             "dim": self.dim,
             "embed_calls": self.embed_calls,
+            "batch_size": self.batch_size,
             "sbert": self.sbert is not None,
         }

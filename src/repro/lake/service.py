@@ -177,6 +177,19 @@ class LakeService:
         with self._lock:
             return self.catalog.add_table(table)
 
+    def add_tables(
+        self,
+        tables: dict[str, Table],
+        batch_size: int | None = None,
+        sketch_workers: int | None = None,
+    ):
+        """Bulk ingest through the batched embedding engine:
+        ``ceil(N / batch_size)`` trunk forwards for N new tables."""
+        with self._lock:
+            return self.catalog.add_tables(
+                tables, batch_size=batch_size, sketch_workers=sketch_workers
+            )
+
     def remove_table(self, name: str) -> bool:
         with self._lock:
             return self.catalog.remove_table(name)

@@ -56,3 +56,24 @@ def test_embeddings_are_finite(trainer, corpus):
     searcher = DualEncoderSearcher(trainer, corpus, "TaBERT-FT")
     for vector in searcher._column_vectors.values():
         assert np.all(np.isfinite(vector))
+
+
+def test_table_level_query_embedding_memoized(trainer, corpus):
+    searcher = DualEncoderSearcher(trainer, corpus, "TUTA-FT", table_level=True)
+    calls = {"n": 0}
+    original = trainer.table_embedding
+
+    def counting(table):
+        calls["n"] += 1
+        return original(table)
+
+    trainer.table_embedding = counting
+    try:
+        first = searcher.retrieve(SearchQuery(table="q"), k=2)
+        # Member tables were embedded during the corpus build; repeated
+        # retrievals must not re-run the trunk.
+        assert calls["n"] == 0
+        assert searcher.retrieve(SearchQuery(table="q"), k=2) == first
+        assert calls["n"] == 0
+    finally:
+        trainer.table_embedding = original

@@ -132,3 +132,27 @@ def test_precomputed_vectors_skip_embedding(tiny_model, tiny_encoder, small_corp
     assert calls["n"] == 0
     query = SearchQuery(table="q")
     assert warm.retrieve(query, k=2) == reference.retrieve(query, k=2)
+
+
+def test_add_table_sbert_without_table_raises_clear_error(
+    tiny_model, tiny_encoder, small_corpus
+):
+    """With sbert enabled, a sketch-only add cannot build the value half —
+    it must fail with an explanatory ValueError, not a KeyError."""
+    tables, sketches = small_corpus
+    searcher = TabSketchFMSearcher(
+        TableEmbedder(tiny_model, tiny_encoder),
+        {k: v for k, v in tables.items() if k != "unrelated"},
+        {k: v for k, v in sketches.items() if k != "unrelated"},
+        sbert=HashedSentenceEncoder(dim=16),
+    )
+    with pytest.raises(ValueError, match="sbert"):
+        searcher.add_table("unrelated", None, sketches["unrelated"])
+
+
+def test_corpus_build_is_batched(tiny_model, tiny_encoder, small_corpus):
+    """The constructor embeds the whole corpus in ceil(N/B) forwards."""
+    tables, sketches = small_corpus
+    embedder = TableEmbedder(tiny_model, tiny_encoder)
+    TabSketchFMSearcher(embedder, tables, sketches)
+    assert embedder.engine.forward_calls == 1  # 3 tables, batch 16

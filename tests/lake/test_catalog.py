@@ -73,3 +73,38 @@ def test_mutations_persist_through_store(tmp_path, lake_embedder, lake_tables):
 
     warm = LakeCatalog.from_store(lake_embedder, LakeStore.open(tmp_path))
     assert warm.table_names() == [names[0], names[2], names[3]]
+
+
+def test_bulk_add_performs_ceil_n_over_b_forwards(lake_embedder, lake_tables):
+    """Batched ingest: N tables cost exactly ceil(N / batch_size) trunk
+    forwards, and the result matches a sequential per-table build."""
+    batched = LakeCatalog(lake_embedder, batch_size=4)
+    batched.add_tables(lake_tables)  # 9 tables
+    assert batched.embed_calls == 3  # ceil(9 / 4)
+    assert len(batched) == len(lake_tables)
+
+    sequential = LakeCatalog(lake_embedder)
+    for table in lake_tables.values():
+        sequential.add_table(table)
+    assert sequential.embed_calls == len(lake_tables)
+    for name in lake_tables:
+        assert np.allclose(
+            batched.query_vectors(name), sequential.query_vectors(name),
+            atol=1e-8,
+        )
+
+
+def test_bulk_add_with_parallel_sketching(lake_embedder, lake_tables):
+    catalog = LakeCatalog(lake_embedder, batch_size=16)
+    catalog.add_tables(lake_tables, sketch_workers=4)
+    assert catalog.embed_calls == 1  # ceil(9 / 16)
+    assert len(catalog) == len(lake_tables)
+
+
+def test_bulk_add_duplicate_rejected_before_any_embedding(
+    lake_embedder, lake_tables, cold_catalog
+):
+    before = cold_catalog.embed_calls
+    with pytest.raises(ValueError, match="already in catalog"):
+        cold_catalog.add_tables(lake_tables)
+    assert cold_catalog.embed_calls == before
