@@ -7,6 +7,13 @@ Commands::
     remove  --lake LAKE --table NAME    # drop one table (incremental)
     stats   --lake LAKE                 # catalog + store statistics
 
+``--index-backend`` picks the vector-index backend for a *new* lake
+(``exact`` or ``hnsw``, optionally with hyperparameters, e.g.
+``hnsw:m=16,ef_search=48``). The spec is folded into the lake's config
+fingerprint: an existing lake always reopens under the backend it was
+built with, and naming a different one fails fast instead of silently
+serving a mismatched index.
+
 ``ingest`` on a fresh directory trains the WordPiece vocabulary on the CSV
 corpus, builds the trunk, and persists model + vocab + artifacts. On an
 existing lake it warm-loads the bundle and embeds *only* CSVs not already
@@ -30,20 +37,34 @@ from repro.lake.catalog import LakeCatalog
 from repro.lake.serialization import FingerprintMismatchError, config_fingerprint
 from repro.lake.service import LakeService
 from repro.lake.store import LakeStore
+from repro.search.backend import normalize_index_spec, validate_index_spec
 from repro.sketch.pipeline import SketchConfig
 from repro.table.csvio import read_csv
 from repro.text.sbert import HashedSentenceEncoder
 from repro.text.tokenizer import WordPieceTokenizer
 
 
-def _load_service(lake: str) -> LakeService:
-    """Warm-load a lake directory into a ready service (no re-embedding)."""
+def _load_service(lake: str, index_backend: str | None = None) -> LakeService:
+    """Warm-load a lake directory into a ready service (no re-embedding,
+    no index re-insertion — the persisted index is deserialized).
+
+    ``index_backend=None`` serves whatever backend the lake was built
+    with; an explicit spec is checked against the store fingerprint, so a
+    backend switch surfaces as a :class:`FingerprintMismatchError`.
+    """
     if not has_bundle(lake):
         sys.exit(f"error: {lake!r} is not an ingested lake (run `ingest` first)")
     model, encoder, sbert = load_bundle(lake)
-    fingerprint = config_fingerprint(model.config, sbert=sbert, model=model)
+    spec = normalize_index_spec(
+        index_backend if index_backend is not None else LakeStore.peek_index_spec(lake)
+    )
+    fingerprint = config_fingerprint(
+        model.config, sbert=sbert, model=model, index_spec=spec
+    )
     store = LakeStore.open(lake, expected_fingerprint=fingerprint)
-    catalog = LakeCatalog.from_store(TableEmbedder(model, encoder), store, sbert=sbert)
+    catalog = LakeCatalog.from_store(
+        TableEmbedder(model, encoder), store, sbert=sbert, index_backend=spec
+    )
     return LakeService(catalog)
 
 
@@ -56,12 +77,18 @@ def _read_csv_dir(csv_dir: str) -> list:
 
 # --------------------------------------------------------------------- #
 def cmd_ingest(args: argparse.Namespace) -> None:
+    if args.index_backend is not None:
+        # Fail a typo'd spec here, before the vocab/trunk build pays for it.
+        validate_index_spec(args.index_backend)
     tables = _read_csv_dir(args.csv_dir)
     started = time.perf_counter()
     if has_bundle(args.lake):
-        service = _load_service(args.lake)
+        service = _load_service(args.lake, index_backend=args.index_backend)
         catalog = service.catalog
-        print(f"warm lake: {len(catalog)} tables already indexed")
+        print(
+            f"warm lake: {len(catalog)} tables already indexed "
+            f"[{catalog.index_spec.canonical()} backend]"
+        )
     else:
         texts: list[str] = []
         for table in tables:
@@ -82,10 +109,19 @@ def cmd_ingest(args: argparse.Namespace) -> None:
         encoder = InputEncoder(config, tokenizer)
         sbert = HashedSentenceEncoder(dim=args.sbert_dim) if args.sbert_dim else None
         save_bundle(args.lake, model, tokenizer, sbert=sbert)
-        fingerprint = config_fingerprint(config, sbert=sbert, model=model)
+        spec = normalize_index_spec(args.index_backend)
+        fingerprint = config_fingerprint(
+            config, sbert=sbert, model=model, index_spec=spec
+        )
         store = LakeStore(args.lake, fingerprint)
-        catalog = LakeCatalog(TableEmbedder(model, encoder), sbert=sbert, store=store)
-        print(f"new lake at {args.lake} (fingerprint {fingerprint})")
+        catalog = LakeCatalog(
+            TableEmbedder(model, encoder), sbert=sbert, store=store,
+            index_backend=spec,
+        )
+        print(
+            f"new lake at {args.lake} (fingerprint {fingerprint}, "
+            f"{spec.canonical()} backend)"
+        )
     fresh = {t.name: t for t in tables if t.name not in catalog}
     skipped = len(tables) - len(fresh)
     forwards_before = catalog.embed_calls
@@ -104,7 +140,9 @@ def cmd_ingest(args: argparse.Namespace) -> None:
 
 
 def cmd_query(args: argparse.Namespace) -> None:
-    service = _load_service(args.lake)
+    if args.index_backend is not None:
+        validate_index_spec(args.index_backend)
+    service = _load_service(args.lake, index_backend=args.index_backend)
     if args.csv:
         query = read_csv(args.csv)
     else:
@@ -163,6 +201,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--sketch-workers", type=int, default=None,
         help="threads for the parallel sketching stage (default: sequential)",
     )
+    ingest.add_argument(
+        "--index-backend", default=None, metavar="SPEC",
+        help="vector-index backend spec for a new lake: 'exact' (default) "
+             "or 'hnsw[:m=...,ef_construction=...,ef_search=...]'; an "
+             "existing lake must reopen under the backend it was built with",
+    )
     ingest.set_defaults(func=cmd_ingest)
 
     query = sub.add_parser("query", help="answer one discovery query")
@@ -173,6 +217,11 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--mode", choices=("join", "union", "subset"), default="union")
     query.add_argument("-k", type=int, default=10)
     query.add_argument("--column", help="query column for join mode")
+    query.add_argument(
+        "--index-backend", default=None, metavar="SPEC",
+        help="assert the lake's index backend (default: use whatever the "
+             "lake was built with); a mismatch fails the fingerprint guard",
+    )
     query.set_defaults(func=cmd_query)
 
     remove = sub.add_parser("remove", help="drop one table from the lake")

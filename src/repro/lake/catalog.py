@@ -12,24 +12,52 @@ Holds every table's :class:`LakeTableRecord` plus the live column index
   column embeddings from one shared pass;
 - a **remove** compacts the index in one pass and never touches the trunk;
 - attached to a :class:`~repro.lake.store.LakeStore`, every mutation is
-  persisted immediately, so the on-disk lake is always warm-loadable.
+  persisted immediately — table artifacts *and* the built vector index —
+  so the on-disk lake is always warm-loadable.
+
+The column index is a pluggable :class:`~repro.search.backend.VectorIndex`
+backend (``index_backend`` spec: ``"exact"`` or ``"hnsw"``, with
+hyperparameters); the spec is folded into the store's config fingerprint so
+exact- and HNSW-built lakes never cross-load.
 
 ``embed_calls`` counts trunk *forwards* — the observable guarantee that a
 1-table delta costs one forward, a batched ingest costs ``ceil(N/B)``, and
-a warm load costs none.
+a warm load costs none. ``searcher.insertions`` is the analogous index-side
+counter: a warm load restores the persisted index and performs zero.
 """
 
 from __future__ import annotations
+
+from collections import Counter
 
 import numpy as np
 
 from repro.core.embed import TableEmbedder, finalize_column_vectors
 from repro.core.engine import TableEmbeddings, sketch_corpus
+from repro.lake.serialization import FingerprintMismatchError
 from repro.lake.store import LakeStore, LakeTableRecord
+from repro.search.backend import IndexSpec, normalize_index_spec
 from repro.search.tables import TableSearcher
 from repro.sketch.pipeline import TableSketch, sketch_table
 from repro.table.schema import Table
 from repro.text.sbert import HashedSentenceEncoder
+
+
+def _index_matches_records(index, records: "list[LakeTableRecord]") -> bool:
+    """Does a restored index cover exactly the manifest's columns?
+
+    The table npz and index npz are flushed separately, so a crash between
+    the two can leave them out of step; serving such an index would return
+    ghost tables (or hide live ones). Comparing the (table, column)
+    multiset is O(total columns) — cheap next to deserialization.
+    """
+    expected = Counter(
+        (record.name, column)
+        for record in records
+        for column in record.column_names
+    )
+    actual = Counter((entry.table, entry.column) for entry in index.keys())
+    return expected == actual
 
 
 class LakeCatalog:
@@ -41,6 +69,7 @@ class LakeCatalog:
         sbert: HashedSentenceEncoder | None = None,
         store: LakeStore | None = None,
         batch_size: int = 16,
+        index_backend: IndexSpec | str | None = None,
     ):
         self.embedder = embedder
         self.engine = embedder.engine
@@ -50,7 +79,21 @@ class LakeCatalog:
         self.sketch_config = embedder.model.config.sketch
         self._hasher = self.sketch_config.build_hasher()
         self.dim = embedder.dim + (sbert.dim if sbert else 0)
-        self.searcher = TableSearcher(self.dim)
+        self.index_spec = normalize_index_spec(index_backend)
+        if store is not None:
+            stored_spec = store.index_spec()
+            if stored_spec is None:
+                # Record the backend *before* any slow embedding work: an
+                # interrupted first ingest must still reopen under the
+                # backend it was started with.
+                store.record_index_spec(self.index_spec)
+            elif stored_spec != self.index_spec:
+                raise FingerprintMismatchError(
+                    self.index_spec.canonical(),
+                    stored_spec.canonical(),
+                    where="lake index backend",
+                )
+        self.searcher = TableSearcher(self.dim, backend=self.index_spec)
         self.records: dict[str, LakeTableRecord] = {}
         #: Trunk forwards performed *by this catalog*; warm loads and
         #: removals must not increment it.
@@ -63,12 +106,35 @@ class LakeCatalog:
         embedder: TableEmbedder,
         store: LakeStore,
         sbert: HashedSentenceEncoder | None = None,
+        index_backend: IndexSpec | str | None = None,
     ) -> "LakeCatalog":
         """Warm-load: register every stored record without running the
-        trunk."""
-        catalog = cls(embedder, sbert=sbert, store=store)
-        for record in store.load_all():
-            catalog._register(record, persist=False)
+        trunk.
+
+        When the store carries a persisted index that is *consistent with
+        the table manifest*, it is deserialized and served as-is — zero
+        per-column insertions. Otherwise (pre-upgrade stores, a dropped
+        artifact, or an index left behind by a crash between the table and
+        index flushes) the index is rebuilt from the records and persisted
+        so the *next* open is warm. An explicit ``index_backend`` that
+        disagrees with the persisted index is refused — that is the same
+        configuration drift the fingerprint guards against.
+        """
+        # None -> the store's recorded spec (still None for pre-upgrade
+        # stores -> default exact). A conflicting explicit spec is refused
+        # by the constructor's guard.
+        spec = index_backend if index_backend is not None else store.index_spec()
+        catalog = cls(embedder, sbert=sbert, store=store, index_backend=spec)
+        records = list(store.load_all())
+        index = store.load_index(catalog.dim)
+        if index is not None and _index_matches_records(index, records):
+            for record in records:
+                catalog.records[record.name] = record
+            catalog.searcher.adopt_index(index)
+        else:
+            for record in records:
+                catalog._register(record, persist=False)
+            catalog._persist_index()
         return catalog
 
     # ------------------------------------------------------------------ #
@@ -133,6 +199,20 @@ class LakeCatalog:
         )
         if persist and self.store is not None:
             self.store.save_table(record)
+            self._persist_index()
+
+    def _persist_index(self) -> None:
+        """Keep the on-disk index in lockstep with the live one, so a
+        mutation updates (never invalidates) the persisted artifact.
+
+        Each save rewrites the full index npz — O(total columns) per
+        delta. At reproduction scale that is a few-ms write bought for
+        crash-safe warm opens; bulk ingest amortizes it to one save per
+        batch, and sharded stores (ROADMAP) are the lever when a single
+        artifact grows past that.
+        """
+        if self.store is not None:
+            self.store.save_index(self.searcher.index, self.index_spec)
 
     # ------------------------------------------------------------------ #
     def add_table(self, table: Table) -> LakeTableRecord:
@@ -174,19 +254,27 @@ class LakeCatalog:
             records.append(record)
         if self.store is not None:
             self.store.save_tables(records)
+            self._persist_index()
         return records
 
-    def remove_table(self, name: str) -> bool:
+    def remove_table(self, name: str, persist_index: bool = True) -> bool:
         """Drop one table from index, registry, and store."""
         record = self.records.pop(name, None)
         self.searcher.remove_table(name)
         if self.store is not None:
             self.store.remove_table(name)
+            if record is not None and persist_index:
+                self._persist_index()
         return record is not None
 
     def update_table(self, table: Table) -> LakeTableRecord:
-        """Replace one table's artifacts; only that table is re-embedded."""
-        self.remove_table(table.name)
+        """Replace one table's artifacts; only that table is re-embedded.
+
+        The removal skips the interim index save — the add that follows
+        persists the final state, so an update costs one index write, not
+        two.
+        """
+        self.remove_table(table.name, persist_index=False)
         return self.add_table(table)
 
     # ------------------------------------------------------------------ #
@@ -211,6 +299,8 @@ class LakeCatalog:
             "n_rows": sum(r.n_rows for r in self.records.values()),
             "dim": self.dim,
             "embed_calls": self.embed_calls,
+            "index_backend": self.index_spec.canonical(),
+            "index_insertions": self.searcher.insertions,
             "batch_size": self.batch_size,
             "sbert": self.sbert is not None,
         }

@@ -20,13 +20,16 @@ import json
 
 import numpy as np
 
+from repro.search.backend import IndexSpec, normalize_index_spec
 from repro.sketch.minhash import MinHash
 from repro.sketch.numeric import NumericalSketch, _PERCENTILES
 from repro.sketch.pipeline import ColumnSketch, SketchConfig, TableSketch
 from repro.table.schema import ColumnType
 
 #: Bumped whenever the on-disk artifact layout changes shape.
-FORMAT_VERSION = 1
+#: v2: persisted vector index (index.npz + manifest spec), per-entry
+#: disk_bytes, and the index-backend spec folded into the fingerprint.
+FORMAT_VERSION = 2
 
 
 class FingerprintMismatchError(RuntimeError):
@@ -36,7 +39,8 @@ class FingerprintMismatchError(RuntimeError):
         super().__init__(
             f"{where} fingerprint mismatch: expected {expected!r}, found "
             f"{found!r} — the artifacts were built under a different "
-            "sketch/model configuration and must be re-ingested"
+            "sketch/model/index configuration (or an older artifact "
+            "format) and must be re-ingested"
         )
         self.expected = expected
         self.found = found
@@ -54,13 +58,21 @@ def _weights_digest(model) -> str:
     return digest.hexdigest()
 
 
-def config_fingerprint(model_config, sbert=None, model=None) -> str:
+def config_fingerprint(
+    model_config,
+    sbert=None,
+    model=None,
+    index_spec: "IndexSpec | str | None" = None,
+) -> str:
     """Stable hex fingerprint of everything embeddings depend on.
 
     ``model_config`` is a :class:`repro.core.config.TabSketchFMConfig` (which
     nests the :class:`SketchConfig`); ``sbert`` the optional frozen value
     encoder; ``model`` the (possibly fine-tuned) trunk, whose weights are
-    digested so a fine-tune invalidates a pre-finetune lake.
+    digested so a fine-tune invalidates a pre-finetune lake; ``index_spec``
+    the vector-index backend the lake's persisted index was built with
+    (``None`` normalizes to the default exact backend), so exact- and
+    HNSW-built stores never cross-load.
     """
     payload: dict = {
         "format": FORMAT_VERSION,
@@ -73,6 +85,7 @@ def config_fingerprint(model_config, sbert=None, model=None) -> str:
             "use_ngrams": sbert.use_ngrams,
             "positional": sbert.positional,
         },
+        "index": normalize_index_spec(index_spec).to_dict(),
     }
     if model is not None:
         payload["weights"] = _weights_digest(model)

@@ -149,12 +149,14 @@ class LakeService:
                     return searcher.search_by_column(
                         by_name[column], k, exclude_table=exclude
                     )
-                # No column marked: best single-column match per lake table.
+                # No column marked: best single-column match per lake
+                # table, over one batched query_many call.
                 best: dict[str, float] = {}
-                for _, vector in pairs:
-                    for table, distance in searcher.column_near_tables(
-                        vector, k, exclude_table=exclude
-                    ).items():
+                matrix = np.stack([vector for _, vector in pairs])
+                for nearest in searcher.column_near_tables_many(
+                    matrix, k, exclude_table=exclude
+                ):
+                    for table, distance in nearest.items():
                         if table not in best or distance < best[table]:
                             best[table] = distance
                 ranked = sorted(best.items(), key=lambda item: item[1])

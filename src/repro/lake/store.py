@@ -4,6 +4,8 @@ Layout under one root directory::
 
     <root>/
       manifest.json          # fingerprint + ordered table entries
+      index.npz              # persisted vector index (exact matrix or
+                             # HNSW graph arrays), versioned via manifest
       tables/
         t000001.npz          # one archive per table (see below)
 
@@ -18,12 +20,23 @@ The manifest records the config fingerprint
 different expected fingerprint raises :class:`FingerprintMismatchError`
 instead of silently serving stale vectors. Table entries are an ordered
 *list* (not a name-keyed dict) so insertion order — and therefore index row
-order and tie-breaking — survives persistence.
+order and tie-breaking — survives persistence. Each entry also records its
+``disk_bytes`` at write time, so :meth:`LakeStore.stats` sums the manifest
+instead of stat-ing every archive per call.
+
+``save_index`` persists the *built* vector index (any
+:class:`repro.search.backend.VectorIndex` via its ``state_arrays``) beside
+the manifest, keyed by its :class:`~repro.search.backend.IndexSpec`, so a
+warm open of an N-table lake deserializes the index instead of performing N
+re-insertions; incremental catalog mutations re-save it rather than
+invalidating it.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
+import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator
@@ -36,11 +49,19 @@ from repro.lake.serialization import (
     pack_table_sketch,
     unpack_table_sketch,
 )
+from repro.search.backend import (
+    INDEX_STATE_VERSION,
+    IndexSpec,
+    VectorIndex,
+    restore_index,
+)
+from repro.search.tables import ColumnEntry
 from repro.sketch.pipeline import TableSketch
 from repro.utils.io import ensure_dir, read_json, write_json
 
 MANIFEST_NAME = "manifest.json"
 TABLES_DIR = "tables"
+INDEX_NAME = "index.npz"
 
 
 @dataclass
@@ -85,6 +106,11 @@ class LakeStore:
                 "format_version": FORMAT_VERSION,
                 "fingerprint": fingerprint,
                 "next_id": 1,
+                # Bumped by every table write/remove; the persisted index
+                # records the value it was saved under, so index/table
+                # drift (a crash between the two flushes) is detectable
+                # even when the column-key sets still agree.
+                "mutation_counter": 0,
                 "tables": [],
             }
             self._flush()
@@ -133,6 +159,8 @@ class LakeStore:
             "sketch_meta": meta,
             "n_rows": int(record.n_rows),
             "n_cols": len(record.column_names),
+            # Recorded at write time so stats() never has to stat the file.
+            "disk_bytes": int((self.root / file_rel).stat().st_size),
             "metadata": record.metadata,
         }
         if existing is None:
@@ -141,6 +169,12 @@ class LakeStore:
             self._by_name[record.name] = fields
         else:
             existing.update(fields)
+        self._bump_mutation_counter()
+
+    def _bump_mutation_counter(self) -> int:
+        value = int(self._manifest.get("mutation_counter", 0)) + 1
+        self._manifest["mutation_counter"] = value
+        return value
 
     def save_table(self, record: LakeTableRecord) -> None:
         """Write one table's artifacts; replaces any same-named entry."""
@@ -184,11 +218,149 @@ class LakeStore:
             return False
         self._manifest["tables"].remove(entry)
         del self._by_name[name]
+        self._bump_mutation_counter()
         path = self.root / entry["file"]
         if path.exists():
             path.unlink()
         self._flush()
         return True
+
+    # ------------------------------------------------------------------ #
+    # Persisted vector index
+    # ------------------------------------------------------------------ #
+    def save_index(self, index: VectorIndex, spec: IndexSpec) -> None:
+        """Persist the built index (state arrays + key table) as one npz.
+
+        Keys are :class:`~repro.search.tables.ColumnEntry` rows (the
+        backend's ``state_keys`` — for HNSW that includes tombstoned
+        nodes), encoded as two aligned string arrays; the spec, backend
+        meta, a state version, and the manifest's current mutation counter
+        ride in the manifest, so a layout change or a crash between the
+        table and index flushes can never be misread as a valid index.
+        """
+        arrays, meta = index.state_arrays()
+        keys = index.state_keys()
+        arrays = dict(arrays)
+        # Dunder-namespaced so no backend's own state array can collide.
+        collisions = {"__key_tables", "__key_columns"} & arrays.keys()
+        if collisions:
+            raise ValueError(
+                f"index state arrays use reserved names {sorted(collisions)}"
+            )
+        arrays["__key_tables"] = np.asarray(
+            [entry.table for entry in keys], dtype=str
+        )
+        arrays["__key_columns"] = np.asarray(
+            [entry.column for entry in keys], dtype=str
+        )
+        path = self.root / INDEX_NAME
+        # Write-then-rename: a crash mid-write must never leave a torn
+        # archive under the live name. (The tmp name keeps the .npz
+        # extension — np.savez appends one otherwise.)
+        temporary = path.with_name("index.tmp.npz")
+        np.savez(temporary, **arrays)
+        os.replace(temporary, path)
+        self.record_index_spec(spec, flush=False)
+        self._manifest["index"] = {
+            "state_version": INDEX_STATE_VERSION,
+            "spec": spec.to_dict(),
+            "meta": meta,
+            "file": INDEX_NAME,
+            "n_keys": len(keys),
+            "disk_bytes": int(path.stat().st_size),
+            "mutation_counter": int(self._manifest.get("mutation_counter", 0)),
+        }
+        self._flush()
+
+    def record_index_spec(self, spec: IndexSpec, flush: bool = True) -> None:
+        """Record which backend this lake is configured for.
+
+        The spec is *configuration*, not artifact: it is written as soon
+        as a catalog attaches (before any slow embedding work), so an
+        interrupted first ingest still reopens under the right backend,
+        and it survives :meth:`drop_index`.
+        """
+        self._manifest["index_spec"] = spec.to_dict()
+        if flush:
+            self._flush()
+
+    def index_spec(self) -> IndexSpec | None:
+        """The backend spec this lake's index was built with, if recorded.
+
+        Survives :meth:`drop_index` — a lake that lost its index artifact
+        still knows which backend to rebuild under.
+        """
+        raw = self._manifest.get("index_spec")
+        if raw is None:
+            return None
+        return IndexSpec.from_dict(raw)
+
+    @classmethod
+    def peek_index_spec(cls, root: str | os.PathLike) -> IndexSpec | None:
+        """Read a lake's index-backend spec without opening the store
+        (no fingerprint needed) — how the CLI decides which backend a
+        warm lake was built with."""
+        manifest_path = Path(root) / MANIFEST_NAME
+        if not manifest_path.exists():
+            return None
+        raw = read_json(manifest_path).get("index_spec")
+        if raw is None:
+            return None
+        return IndexSpec.from_dict(raw)
+
+    def load_index(self, dim: int) -> "VectorIndex | None":
+        """Restore the persisted index, or ``None`` when absent/stale
+        (missing file, unknown state version, or saved under an older
+        mutation counter than the table manifest — the torn-write case) —
+        callers fall back to a rebuild from the table records."""
+        entry = self._manifest.get("index")
+        if entry is None:
+            return None
+        if int(entry.get("state_version", -1)) != INDEX_STATE_VERSION:
+            return None
+        if int(entry.get("mutation_counter", -1)) != int(
+            self._manifest.get("mutation_counter", 0)
+        ):
+            return None
+        path = self.root / entry["file"]
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as archive:
+                arrays = {key: archive[key] for key in archive.files}
+            keys = [
+                ColumnEntry(str(table), str(column))
+                for table, column in zip(
+                    arrays.pop("__key_tables"), arrays.pop("__key_columns")
+                )
+            ]
+            return restore_index(
+                IndexSpec.from_dict(entry["spec"]), dim, keys, arrays, entry["meta"]
+            )
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+            # A corrupt/truncated archive (torn disk write) or a missing
+            # field must degrade to the rebuild path, not crash every
+            # open — but audibly, so a deterministic restore bug can't
+            # hide as a silent per-open rebuild forever.
+            warnings.warn(
+                f"persisted index at {path} could not be restored "
+                f"({exc!r}); rebuilding from table records",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+
+    def drop_index(self) -> bool:
+        """Delete the persisted index artifact (the store stays valid —
+        the next warm open rebuilds under the recorded spec and
+        re-persists it)."""
+        entry = self._manifest.pop("index", None)
+        path = self.root / INDEX_NAME
+        if path.exists():
+            path.unlink()
+        if entry is not None:
+            self._flush()
+        return entry is not None
 
     # ------------------------------------------------------------------ #
     def table_names(self) -> list[str]:
@@ -200,8 +372,18 @@ class LakeStore:
     def __len__(self) -> int:
         return len(self._manifest["tables"])
 
+    def _entry_disk_bytes(self, entry: dict) -> int:
+        """Manifest-recorded size; stat fallback only for pre-upgrade
+        manifests that never recorded it."""
+        if "disk_bytes" in entry:
+            return int(entry["disk_bytes"])
+        path = self.root / entry["file"]
+        return path.stat().st_size if path.exists() else 0
+
     def stats(self) -> dict:
         entries = self._manifest["tables"]
+        index_entry = self._manifest.get("index")
+        index_bytes = int(index_entry.get("disk_bytes", 0)) if index_entry else 0
         return {
             "root": str(self.root),
             "fingerprint": self.fingerprint,
@@ -209,9 +391,10 @@ class LakeStore:
             "n_tables": len(entries),
             "n_columns": sum(int(e.get("n_cols", 0)) for e in entries),
             "n_rows": sum(int(e.get("n_rows", 0)) for e in entries),
-            "disk_bytes": sum(
-                (self.root / e["file"]).stat().st_size
-                for e in entries
-                if (self.root / e["file"]).exists()
-            ),
+            "disk_bytes": sum(self._entry_disk_bytes(e) for e in entries)
+            + index_bytes,
+            "index_backend": spec.canonical()
+            if (spec := self.index_spec()) is not None
+            else None,
+            "index_disk_bytes": index_bytes,
         }

@@ -1,6 +1,17 @@
-"""Search substrate: nearest-neighbour indexes, the Figure-6 table ranking
+"""Search substrate: pluggable nearest-neighbour index backends (exact,
+HNSW) behind one `VectorIndex` protocol, the Figure-6 table ranking
 algorithm, and retrieval metrics (mean F1 / P@k / R@k, F1-vs-k curves)."""
 
+from repro.search.backend import (
+    IndexSpec,
+    VectorIndex,
+    available_backends,
+    make_index,
+    normalize_index_spec,
+    register_backend,
+    restore_index,
+    validate_index_spec,
+)
 from repro.search.hnsw import HnswIndex
 from repro.search.index import KnnIndex
 from repro.search.tables import ColumnEntry, TableSearcher
@@ -12,6 +23,14 @@ from repro.search.metrics import (
 )
 
 __all__ = [
+    "IndexSpec",
+    "VectorIndex",
+    "available_backends",
+    "make_index",
+    "normalize_index_spec",
+    "register_backend",
+    "restore_index",
+    "validate_index_spec",
     "HnswIndex",
     "KnnIndex",
     "ColumnEntry",

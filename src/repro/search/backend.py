@@ -1,0 +1,294 @@
+"""Pluggable vector-index backends behind one ``VectorIndex`` protocol.
+
+Everything above the KNN call — the Fig. 6 table ranking, the lake catalog,
+the CLI, the benchmark searchers — talks to an index through this protocol:
+
+- ``add`` / ``add_many``      — (key, vector) insertion, bulk-friendly;
+- ``remove_many``             — batch deletion by key;
+- ``query`` / ``query_many``  — top-k ``(key, distance)`` per query vector,
+  ascending by distance; ``query_many`` answers a whole matrix of queries in
+  one call (for the exact backend that is a single BLAS matmul);
+- ``keys`` / ``__contains__`` / ``__len__`` — membership, aligned with
+  ``state_arrays`` for persistence.
+
+Backends are constructed from an :class:`IndexSpec` — a named backend plus
+its hyperparameters — via :func:`make_index`. The spec has a canonical
+string form (``"exact"``, ``"hnsw:m=12,ef_search=48"``) used by CLI flags
+and folded into the lake config fingerprint, so stores built under one
+backend never silently cross-load under another.
+
+Registered backends:
+
+- ``"exact"`` — :class:`repro.search.index.KnnIndex`, brute force, recall
+  1.0; params: ``metric``.
+- ``"hnsw"``  — :class:`repro.search.hnsw.HnswIndex`, the approximate
+  structure Starmie/DeepJoin use to scale column search to large lakes;
+  params: ``metric``, ``m``, ``ef_construction``, ``ef_search``, ``seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+#: Bumped whenever a backend's ``state_arrays`` layout changes shape.
+INDEX_STATE_VERSION = 1
+
+
+@runtime_checkable
+class VectorIndex(Protocol):
+    """What every index backend must implement."""
+
+    dim: int
+    metric: str
+
+    def add(self, key, vector: np.ndarray) -> None: ...
+
+    def add_many(self, items: Sequence[tuple[object, np.ndarray]]) -> None: ...
+
+    def remove_many(self, keys: Iterable[object]) -> int: ...
+
+    def query(self, vector: np.ndarray, k: int) -> list[tuple[object, float]]: ...
+
+    def query_many(
+        self, matrix: np.ndarray, k: int
+    ) -> list[list[tuple[object, float]]]: ...
+
+    def keys(self) -> list: ...
+
+    def state_keys(self) -> list: ...
+
+    def state_arrays(self) -> tuple[dict[str, np.ndarray], dict]: ...
+
+    def __contains__(self, key) -> bool: ...
+
+    def __len__(self) -> int: ...
+
+
+# --------------------------------------------------------------------- #
+# Index specifications
+# --------------------------------------------------------------------- #
+def _parse_value(text: str):
+    """``"8"`` -> 8, ``"0.5"`` -> 0.5, anything else stays a string."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """A named backend plus its hyperparameters.
+
+    ``params`` only carries *overrides*; backend defaults fill the rest at
+    construction time, so two spellings of the same configuration ("hnsw"
+    vs "hnsw:m=12" when 12 is the default) are distinct specs — the
+    fingerprint is deliberately literal about what was requested.
+    """
+
+    backend: str = "exact"
+    params: dict = field(default_factory=dict)
+
+    def __hash__(self) -> int:
+        # frozen=True would auto-derive a hash that chokes on the dict
+        # field; hash the canonical (sorted) param view instead.
+        return hash((self.backend, tuple(sorted(self.params.items()))))
+
+    @classmethod
+    def parse(cls, text: str) -> "IndexSpec":
+        """``"hnsw:m=16,ef_search=48"`` -> IndexSpec("hnsw", {...})."""
+        text = text.strip()
+        if not text:
+            raise ValueError("empty index spec")
+        name, _, tail = text.partition(":")
+        params: dict = {}
+        if tail:
+            for item in tail.split(","):
+                key, sep, value = item.partition("=")
+                if not sep or not key.strip():
+                    raise ValueError(
+                        f"bad index-spec parameter {item!r} in {text!r}; "
+                        "expected key=value"
+                    )
+                params[key.strip()] = _parse_value(value.strip())
+        return cls(backend=name.strip(), params=params)
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "IndexSpec":
+        return cls(backend=raw["backend"], params=dict(raw.get("params", {})))
+
+    def to_dict(self) -> dict:
+        """JSON-stable form (sorted params) for fingerprints/manifests."""
+        return {
+            "backend": self.backend,
+            "params": {key: self.params[key] for key in sorted(self.params)},
+        }
+
+    def canonical(self) -> str:
+        """The parseable one-line form shown in CLIs and stats."""
+        if not self.params:
+            return self.backend
+        tail = ",".join(f"{key}={self.params[key]}" for key in sorted(self.params))
+        return f"{self.backend}:{tail}"
+
+    def with_defaults(self, **defaults) -> "IndexSpec":
+        merged = {**defaults, **self.params}
+        return IndexSpec(backend=self.backend, params=merged)
+
+
+def normalize_index_spec(
+    spec: "IndexSpec | str | None", **defaults
+) -> IndexSpec:
+    """Coerce ``None`` / a spec string / an IndexSpec into an IndexSpec.
+
+    ``defaults`` (e.g. ``metric="cosine"``) fill parameters the spec leaves
+    unset, so callers with their own metric knob stay authoritative without
+    clobbering an explicit spec override. A default the backend does not
+    declare is dropped, not forced — a custom backend without a ``metric``
+    knob must still plug in.
+    """
+    if spec is None:
+        spec = IndexSpec()
+    elif isinstance(spec, str):
+        spec = IndexSpec.parse(spec)
+    elif not isinstance(spec, IndexSpec):
+        raise TypeError(f"cannot interpret {spec!r} as an index spec")
+    if not defaults:
+        return spec
+    registered = _REGISTRY.get(spec.backend)
+    if registered is not None:
+        allowed = registered[2]
+        defaults = {
+            name: value for name, value in defaults.items() if name in allowed
+        }
+    return spec.with_defaults(**defaults) if defaults else spec
+
+
+# --------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------- #
+#: name -> (factory(dim, **params), restorer(dim, params, keys, arrays, meta),
+#:          {param name -> expected type(s)})
+_REGISTRY: dict[str, tuple[Callable, Callable, dict]] = {}
+
+
+def register_backend(
+    name: str, factory: Callable, restorer: Callable, params: dict | None = None
+) -> None:
+    """Register (or replace) a backend under ``name``.
+
+    ``params`` maps the backend's accepted hyperparameter names to their
+    expected type(s), so a typo'd spec fails with a clean :class:`ValueError`
+    at validation time instead of a ``TypeError`` deep inside construction.
+    """
+    _REGISTRY[name] = (factory, restorer, dict(params or {}))
+
+
+def available_backends() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def _lookup(name: str) -> tuple[Callable, Callable, dict]:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown index backend {name!r}; available: {available_backends()}"
+        ) from None
+
+
+def validate_index_spec(spec: IndexSpec | str | None) -> IndexSpec:
+    """Check a spec against its backend's declared hyperparameters.
+
+    Raises :class:`ValueError` (never ``TypeError``) on an unknown backend,
+    an unknown parameter name, or a wrong-typed value — cheap enough to run
+    *before* any expensive work a caller would otherwise waste.
+    """
+    spec = normalize_index_spec(spec)
+    _, _, allowed = _lookup(spec.backend)
+    for name, value in spec.params.items():
+        if name not in allowed:
+            raise ValueError(
+                f"index backend {spec.backend!r} has no parameter {name!r}; "
+                f"accepted: {sorted(allowed)}"
+            )
+        expected = allowed[name]
+        if not isinstance(value, expected):
+            wanted = (
+                "/".join(t.__name__ for t in expected)
+                if isinstance(expected, tuple)
+                else expected.__name__
+            )
+            raise ValueError(
+                f"index-backend parameter {name}={value!r} must be {wanted}"
+            )
+    return spec
+
+
+def make_index(spec: IndexSpec | str | None, dim: int) -> VectorIndex:
+    """Build a fresh index for ``spec`` (default: the exact backend)."""
+    spec = validate_index_spec(spec)
+    factory, _, _ = _lookup(spec.backend)
+    return factory(dim, **spec.params)
+
+
+def restore_index(
+    spec: IndexSpec | str | None,
+    dim: int,
+    keys: list,
+    arrays: dict[str, np.ndarray],
+    meta: dict,
+) -> VectorIndex:
+    """Rebuild a persisted index from its ``state_arrays`` output.
+
+    ``keys`` is the decoded key list, row-aligned with the state arrays
+    (key serialization is the persistence layer's concern — backends never
+    see anything but live Python keys).
+    """
+    spec = normalize_index_spec(spec)
+    _, restorer, _ = _lookup(spec.backend)
+    return restorer(dim, dict(spec.params), keys, arrays, meta)
+
+
+# --------------------------------------------------------------------- #
+# Built-in backends
+# --------------------------------------------------------------------- #
+def _register_builtins() -> None:
+    from repro.search.hnsw import HnswIndex
+    from repro.search.index import KnnIndex
+
+    register_backend(
+        "exact", KnnIndex, KnnIndex.restore, params={"metric": str}
+    )
+
+    def _hnsw_factory(dim: int, **params) -> HnswIndex:
+        # Protocol parity with the exact backend: cosine unless overridden.
+        params.setdefault("metric", "cosine")
+        return HnswIndex(dim, **params)
+
+    def _hnsw_restore(dim, params, keys, arrays, meta) -> HnswIndex:
+        params = dict(params)
+        params.setdefault("metric", "cosine")
+        return HnswIndex.restore(dim, params, keys, arrays, meta)
+
+    register_backend(
+        "hnsw",
+        _hnsw_factory,
+        _hnsw_restore,
+        params={
+            "metric": str,
+            "m": int,
+            "ef_construction": int,
+            "ef_search": int,
+            "seed": int,
+            "compact_ratio": (int, float),
+            "compact_min": int,
+        },
+    )
+
+
+_register_builtins()

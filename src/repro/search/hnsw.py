@@ -7,10 +7,19 @@ level 0 and, with geometrically decaying probability, in higher levels;
 search greedily descends from the top layer and runs best-first beam search
 (``ef``) at level 0.
 
-At reproduction scale an exact index is faster, so the library defaults to
-:class:`repro.search.index.KnnIndex`; this class exists because the paper's
-baseline names the structure, and the recall/efficiency trade-off is itself
-benchmarkable (see ``tests/search/test_hnsw.py``).
+This class implements the :class:`repro.search.backend.VectorIndex`
+protocol (the ``"hnsw"`` backend), at parity with the exact index:
+
+- ``metric="cosine"`` stores L2-normalized vectors and measures
+  ``1 - cos`` (what :class:`repro.search.index.KnnIndex` defaults to), so
+  the two backends are interchangeable behind ``TableSearcher``;
+- ``add_many`` / ``remove_many`` support the lake's incremental deltas.
+  Deletion is tombstone-based — the node stays in the graph as a traversal
+  waypoint but never appears in results — with automatic compaction (a
+  rebuild over the live nodes) once tombstones pass ``compact_ratio``;
+- ``state_arrays`` / ``restore`` round-trip the full graph (adjacency,
+  levels, entry point, RNG state), so a persisted lake reopens without
+  re-running a single insertion.
 """
 
 from __future__ import annotations
@@ -32,26 +41,66 @@ class HnswIndex:
     """
 
     def __init__(self, dim: int, m: int = 8, ef_construction: int = 32,
-                 ef_search: int = 24, seed: int = 11):
+                 ef_search: int = 24, seed: int = 11,
+                 metric: str = "euclidean", compact_ratio: float = 0.25,
+                 compact_min: int = 16):
+        if metric not in ("cosine", "euclidean"):
+            raise ValueError(f"unknown metric {metric!r}")
         self.dim = dim
+        self.metric = metric
         self.m = m
         self.ef_construction = ef_construction
         self.ef_search = ef_search
+        self.seed = seed
+        self.compact_ratio = compact_ratio
+        self.compact_min = compact_min
         self._rng = spawn_rng(seed, "hnsw")
-        self._level_scale = 1.0 / math.log(m)
+        self._level_scale = 1.0 / math.log(max(m, 2))
         self._keys: list = []
         self._vectors: list[np.ndarray] = []
         #: per node: list of neighbour-id lists, one per level (0..node_level)
         self._graph: list[list[list[int]]] = []
         self._entry: int | None = None
         self._max_level = -1
+        #: tombstoned node ids — kept in the graph for traversal, excluded
+        #: from every result set, reclaimed by :meth:`_compact`.
+        self._deleted: set[int] = set()
+        #: key -> live node ids (supports duplicate keys, O(1) membership).
+        self._nodes_by_key: dict = {}
 
     def __len__(self) -> int:
-        return len(self._keys)
+        return len(self._keys) - len(self._deleted)
+
+    def __contains__(self, key) -> bool:
+        return key in self._nodes_by_key
+
+    def keys(self) -> list:
+        """Live keys in insertion order (one entry per live node)."""
+        return [
+            key
+            for node, key in enumerate(self._keys)
+            if node not in self._deleted
+        ]
 
     # ------------------------------------------------------------------ #
+    def _prepare(self, vector: np.ndarray) -> np.ndarray:
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.dim,):
+            raise ValueError(f"expected dim {self.dim}, got {vector.shape}")
+        if self.metric == "cosine":
+            norm = np.linalg.norm(vector)
+            if norm > 0.0:
+                vector = vector / norm
+        return vector
+
     def _distance(self, a: int, query: np.ndarray) -> float:
+        if self.metric == "cosine":
+            # Stored vectors and queries are pre-normalized.
+            return float(1.0 - self._vectors[a] @ query)
         return float(np.linalg.norm(self._vectors[a] - query))
+
+    def _pair_distance(self, a: int, b: int) -> float:
+        return self._distance(a, self._vectors[b])
 
     def _random_level(self) -> int:
         return int(-math.log(max(self._rng.random(), 1e-12)) * self._level_scale)
@@ -72,7 +121,12 @@ class HnswIndex:
 
     def _search_level(self, query: np.ndarray, entry: int, ef: int,
                       level: int) -> list[tuple[float, int]]:
-        """Best-first beam search; returns (distance, node) sorted ascending."""
+        """Best-first beam search; returns (distance, node) sorted ascending.
+
+        Tombstoned nodes participate in the beam (they are traversal
+        waypoints — removing them from consideration would sever paths the
+        graph was built around); callers filter them from results.
+        """
         visited = {entry}
         entry_dist = self._distance(entry, query)
         candidates = [(entry_dist, entry)]           # min-heap
@@ -109,10 +163,7 @@ class HnswIndex:
                 break
             ok = True
             for other in kept:
-                if (
-                    float(np.linalg.norm(self._vectors[node] - self._vectors[other]))
-                    < dist
-                ):
+                if self._pair_distance(node, other) < dist:
                     ok = False
                     break
             if ok:
@@ -127,15 +178,14 @@ class HnswIndex:
         return kept
 
     # ------------------------------------------------------------------ #
-    def insert(self, key, vector: np.ndarray) -> None:
-        vector = np.asarray(vector, dtype=np.float64)
-        if vector.shape != (self.dim,):
-            raise ValueError(f"expected dim {self.dim}, got {vector.shape}")
+    def add(self, key, vector: np.ndarray) -> None:
+        vector = self._prepare(vector)
         node = len(self._keys)
         level = self._random_level()
         self._keys.append(key)
         self._vectors.append(vector)
         self._graph.append([[] for _ in range(level + 1)])
+        self._nodes_by_key.setdefault(key, []).append(node)
 
         if self._entry is None:
             self._entry = node
@@ -158,14 +208,7 @@ class HnswIndex:
                 if len(links) > self.m:
                     # Re-prune with the same diversity heuristic.
                     scored = [
-                        (
-                            float(
-                                np.linalg.norm(
-                                    self._vectors[neighbour] - self._vectors[other]
-                                )
-                            ),
-                            other,
-                        )
+                        (self._pair_distance(other, neighbour), other)
                         for other in links
                     ]
                     self._graph[neighbour][lvl] = self._select_neighbours(
@@ -176,15 +219,205 @@ class HnswIndex:
             self._max_level = level
             self._entry = node
 
+    #: Backwards-compatible alias — the original interface named this
+    #: ``insert``.
+    insert = add
+
+    def add_many(self, items) -> None:
+        """Insert a batch of (key, vector) pairs in order."""
+        for key, vector in items:
+            self.add(key, vector)
+
+    # ------------------------------------------------------------------ #
+    def remove_many(self, keys) -> int:
+        """Tombstone every node stored under ``keys``; returns nodes removed.
+
+        Dead nodes stay in the graph as traversal waypoints (queries filter
+        them); once they exceed ``compact_ratio`` of the graph the index
+        compacts — a rebuild over the live nodes only.
+        """
+        removed = 0
+        for key in set(keys):
+            nodes = self._nodes_by_key.pop(key, None)
+            if not nodes:
+                continue
+            self._deleted.update(nodes)
+            removed += len(nodes)
+        if removed and self._should_compact():
+            self._compact()
+        return removed
+
+    def remove(self, key) -> int:
+        return self.remove_many([key])
+
+    def _should_compact(self) -> bool:
+        dead = len(self._deleted)
+        return dead >= self.compact_min and dead >= self.compact_ratio * len(
+            self._keys
+        )
+
+    def _compact(self) -> None:
+        """Rebuild the graph over live nodes, reclaiming tombstones."""
+        pairs = [
+            (self._keys[node], self._vectors[node])
+            for node in range(len(self._keys))
+            if node not in self._deleted
+        ]
+        self._keys = []
+        self._vectors = []
+        self._graph = []
+        self._entry = None
+        self._max_level = -1
+        self._deleted = set()
+        self._nodes_by_key = {}
+        for key, vector in pairs:
+            self.add(key, vector)
+
+    # ------------------------------------------------------------------ #
     def query(self, vector: np.ndarray, k: int, ef: int | None = None) -> list[tuple[object, float]]:
         """Top-``k`` (key, distance) pairs, approximately nearest first."""
-        if self._entry is None:
+        if len(self) == 0 or k <= 0:
             return []
-        vector = np.asarray(vector, dtype=np.float64)
-        ef = max(ef or self.ef_search, k)
+        vector = self._prepare(vector)
+        # Widen the beam for tombstones *proportionally*: if a fraction f of
+        # the graph is dead, a beam of ef/(1-f) still yields ~ef live
+        # candidates. The additive bound keeps tiny graphs exact; the ratio
+        # bound keeps large lakes at a constant factor (≤ ~4/3 under the
+        # default compact_ratio) instead of degrading toward brute force.
+        base = max(ef or self.ef_search, k)
+        dead = len(self._deleted)
+        if dead:
+            live_fraction = 1.0 - dead / len(self._keys)
+            ef = min(base + dead, math.ceil(base / max(live_fraction, 0.25)))
+        else:
+            ef = base
         entry = self._entry
         for lvl in range(self._max_level, 0, -1):
             if lvl < len(self._graph[entry]):
                 entry = self._greedy_descend(vector, entry, lvl)
         found = self._search_level(vector, entry, ef, 0)
-        return [(self._keys[node], dist) for dist, node in found[:k]]
+        return [
+            (self._keys[node], dist)
+            for dist, node in found
+            if node not in self._deleted
+        ][:k]
+
+    def query_many(
+        self, matrix: np.ndarray, k: int, ef: int | None = None
+    ) -> list[list[tuple[object, float]]]:
+        """Per-row :meth:`query` over a query matrix.
+
+        Graph traversal is inherently sequential per query; the batched
+        entry point exists for protocol parity so callers written against
+        ``query_many`` run unchanged on either backend.
+        """
+        queries = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+        return [self.query(row, k, ef=ef) for row in queries]
+
+    # ------------------------------------------------------------------ #
+    def state_keys(self) -> list:
+        """Node-id-aligned keys for persistence — includes tombstoned
+        nodes, so a save never forces a compaction (deletes stay amortized
+        under ``compact_ratio`` even when every mutation is persisted)."""
+        return list(self._keys)
+
+    def state_arrays(self) -> tuple[dict[str, np.ndarray], dict]:
+        """Persistable graph state, node-aligned with :meth:`state_keys`.
+
+        The adjacency is flattened as ``(levels, neighbour_lens,
+        neighbours)`` — counted ragged arrays — tombstones ride in the
+        ``deleted`` array, and the RNG state rides along so post-restore
+        inserts draw the same level sequence a never-persisted index
+        would.
+        """
+        n = len(self._keys)
+        neighbour_lens: list[int] = []
+        neighbours: list[int] = []
+        for node_links in self._graph:
+            for links in node_links:
+                neighbour_lens.append(len(links))
+                neighbours.extend(links)
+        arrays = {
+            "vectors": np.asarray(self._vectors, dtype=np.float64).reshape(
+                n, self.dim
+            )
+            if n
+            else np.zeros((0, self.dim), dtype=np.float64),
+            "levels": np.asarray(
+                [len(links) for links in self._graph], dtype=np.int64
+            ),
+            "neighbour_lens": np.asarray(neighbour_lens, dtype=np.int64),
+            "neighbours": np.asarray(neighbours, dtype=np.int64),
+            "deleted": np.asarray(sorted(self._deleted), dtype=np.int64),
+        }
+        meta = {
+            "metric": self.metric,
+            "m": self.m,
+            "ef_construction": self.ef_construction,
+            "ef_search": self.ef_search,
+            "seed": self.seed,
+            "compact_ratio": self.compact_ratio,
+            "compact_min": self.compact_min,
+            "entry": -1 if self._entry is None else int(self._entry),
+            "max_level": int(self._max_level),
+            "rng_state": self._rng.bit_generator.state,
+        }
+        return arrays, meta
+
+    @classmethod
+    def restore(
+        cls, dim: int, params: dict, keys: list, arrays: dict, meta: dict
+    ) -> "HnswIndex":
+        """Rebuild from :meth:`state_arrays` output without re-inserting."""
+        build_args = {
+            name: meta.get(name, params.get(name))
+            for name in (
+                "metric",
+                "m",
+                "ef_construction",
+                "ef_search",
+                "seed",
+                "compact_ratio",
+                "compact_min",
+            )
+            if meta.get(name, params.get(name)) is not None
+        }
+        index = cls(dim, **build_args)
+        vectors = np.asarray(arrays["vectors"], dtype=np.float64).reshape(-1, dim)
+        if vectors.shape[0] != len(keys):
+            raise ValueError(
+                f"persisted index has {vectors.shape[0]} nodes but "
+                f"{len(keys)} keys"
+            )
+        index._keys = list(keys)
+        index._vectors = [vectors[i] for i in range(vectors.shape[0])]
+        levels = np.asarray(arrays["levels"], dtype=np.int64)
+        neighbour_lens = np.asarray(arrays["neighbour_lens"], dtype=np.int64)
+        neighbours = np.asarray(arrays["neighbours"], dtype=np.int64)
+        graph: list[list[list[int]]] = []
+        cursor_len = 0
+        cursor_flat = 0
+        for node in range(vectors.shape[0]):
+            node_links: list[list[int]] = []
+            for _ in range(int(levels[node])):
+                count = int(neighbour_lens[cursor_len])
+                cursor_len += 1
+                node_links.append(
+                    [int(x) for x in neighbours[cursor_flat : cursor_flat + count]]
+                )
+                cursor_flat += count
+            graph.append(node_links)
+        index._graph = graph
+        entry = int(meta.get("entry", -1))
+        index._entry = None if entry < 0 else entry
+        index._max_level = int(meta.get("max_level", -1))
+        index._deleted = {
+            int(node) for node in arrays.get("deleted", np.empty(0, np.int64))
+        }
+        for node, key in enumerate(index._keys):
+            if node not in index._deleted:
+                index._nodes_by_key.setdefault(key, []).append(node)
+        rng_state = meta.get("rng_state")
+        if rng_state is not None:
+            index._rng.bit_generator.state = rng_state
+        return index

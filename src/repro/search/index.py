@@ -11,6 +11,13 @@ maintenance: ``add``/``add_many`` are amortized O(1) per row (no re-stacking
 of the whole corpus on the next query) and ``remove_many`` compacts in one
 O(n) pass per batch. This is what lets :mod:`repro.lake` apply one-table
 deltas to a standing lake without rebuilding the index.
+
+``query_many`` answers a whole matrix of queries with one BLAS matmul plus
+one axis-wise partition — the batched primitive the Fig. 6 NEARTABLES loop
+(:class:`repro.search.tables.TableSearcher`) runs on, so a q-column query
+table costs one distance computation instead of q Python round-trips.
+This class implements the :class:`repro.search.backend.VectorIndex`
+protocol (the ``"exact"`` backend).
 """
 
 from __future__ import annotations
@@ -32,6 +39,9 @@ class KnnIndex:
         self.dim = dim
         self.metric = metric
         self._keys: list = []
+        #: key -> number of live rows under it; O(1) membership and an O(1)
+        #: "nothing to remove" fast path without scanning ``_keys``.
+        self._key_counts: dict = {}
         self._data = np.zeros((0, dim), dtype=np.float64)
         self._size = 0
 
@@ -59,6 +69,7 @@ class KnnIndex:
         self._reserve(1)
         self._data[self._size] = vector
         self._keys.append(key)
+        self._key_counts[key] = self._key_counts.get(key, 0) + 1
         self._size += 1
 
     def add_many(self, items: Sequence[tuple[object, np.ndarray]]) -> None:
@@ -69,7 +80,9 @@ class KnnIndex:
         block = np.stack([self._check(vector) for _, vector in items])
         self._reserve(len(items))
         self._data[self._size : self._size + len(items)] = block
-        self._keys.extend(key for key, _ in items)
+        for key, _ in items:
+            self._keys.append(key)
+            self._key_counts[key] = self._key_counts.get(key, 0) + 1
         self._size += len(items)
 
     # ------------------------------------------------------------------ #
@@ -77,17 +90,18 @@ class KnnIndex:
         """Drop every row whose key is in ``keys``; returns rows removed.
 
         One compaction pass over the buffer regardless of batch size, so a
-        whole-table delta costs the same as a single-column one.
+        whole-table delta costs the same as a single-column one. Keys not
+        present cost an O(1) dict probe — no scan of the key list.
         """
-        doomed = set(keys)
+        doomed = {key for key in keys if key in self._key_counts}
         if not doomed:
             return 0
         keep = [i for i, key in enumerate(self._keys) if key not in doomed]
         removed = self._size - len(keep)
-        if removed == 0:
-            return 0
         self._data[: len(keep)] = self._data[keep]
         self._keys = [self._keys[i] for i in keep]
+        for key in doomed:
+            del self._key_counts[key]
         self._size = len(keep)
         return removed
 
@@ -100,28 +114,103 @@ class KnnIndex:
         """The live (n, dim) view of stored vectors — no copying."""
         return self._data[: self._size]
 
-    def query(self, vector: np.ndarray, k: int) -> list[tuple[object, float]]:
-        """Top-``k`` (key, distance) pairs, ascending by distance."""
-        matrix = self._matrix()
-        if matrix.shape[0] == 0 or k <= 0:
-            return []
-        vector = np.asarray(vector, dtype=np.float64)
+    def query_many(
+        self, matrix: np.ndarray, k: int
+    ) -> list[list[tuple[object, float]]]:
+        """Top-``k`` (key, distance) lists for every row of ``matrix``.
+
+        One ``(q, dim) @ (dim, n)`` matmul scores all queries against the
+        whole corpus, then one axis-wise ``argpartition`` + sort extracts
+        each row's top-k — the vectorized form of q separate ``query``
+        calls, with identical results.
+        """
+        queries = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+        if queries.ndim != 2 or queries.shape[1] != self.dim:
+            raise ValueError(
+                f"expected query matrix (*, {self.dim}), got {queries.shape}"
+            )
+        data = self._matrix()
+        n_queries = queries.shape[0]
+        if data.shape[0] == 0 or k <= 0 or n_queries == 0:
+            return [[] for _ in range(n_queries)]
+        scores = queries @ data.T  # (q, n)
         if self.metric == "cosine":
-            norms = np.linalg.norm(matrix, axis=1) * (np.linalg.norm(vector) + 1e-12)
-            norms = np.where(norms == 0.0, 1e-12, norms)
-            distances = 1.0 - (matrix @ vector) / norms
+            denominator = np.linalg.norm(data, axis=1)[None, :] * (
+                np.linalg.norm(queries, axis=1)[:, None] + 1e-12
+            )
+            denominator = np.where(denominator == 0.0, 1e-12, denominator)
+            distances = 1.0 - scores / denominator
         else:
-            distances = np.linalg.norm(matrix - vector[None, :], axis=1)
-        k = min(k, matrix.shape[0])
-        top = np.argpartition(distances, k - 1)[:k]
-        top = top[np.argsort(distances[top])]
-        return [(self._keys[i], float(distances[i])) for i in top]
+            squared = (
+                (queries**2).sum(axis=1)[:, None]
+                + (data**2).sum(axis=1)[None, :]
+                - 2.0 * scores
+            )
+            distances = np.sqrt(np.maximum(squared, 0.0))
+        k = min(k, data.shape[0])
+        top = np.argpartition(distances, k - 1, axis=1)[:, :k]
+        top_distances = np.take_along_axis(distances, top, axis=1)
+        order = np.argsort(top_distances, axis=1)
+        top = np.take_along_axis(top, order, axis=1)
+        top_distances = np.take_along_axis(top_distances, order, axis=1)
+        return [
+            [
+                (self._keys[int(index)], float(distance))
+                for index, distance in zip(row_indices, row_distances)
+            ]
+            for row_indices, row_distances in zip(top, top_distances)
+        ]
+
+    def query(self, vector: np.ndarray, k: int) -> list[tuple[object, float]]:
+        """Top-``k`` (key, distance) pairs, ascending by distance.
+
+        A batch of one through :meth:`query_many`, so single- and batched-
+        query results agree by construction.
+        """
+        return self.query_many(self._check(vector)[None, :], k)[0]
 
     def keys(self) -> list:
         return list(self._keys)
 
     def __contains__(self, key) -> bool:
-        return key in self._keys
+        return key in self._key_counts
 
     def __len__(self) -> int:
         return self._size
+
+    # ------------------------------------------------------------------ #
+    def state_keys(self) -> list:
+        """Row-aligned keys for persistence (the exact backend has no
+        tombstones, so this is just :meth:`keys`)."""
+        return list(self._keys)
+
+    def state_arrays(self) -> tuple[dict[str, np.ndarray], dict]:
+        """Persistable state, row-aligned with :meth:`state_keys`.
+
+        The exact backend is fully described by its vector matrix; keys are
+        serialized by the persistence layer.
+        """
+        return {"vectors": self._matrix().copy()}, {"metric": self.metric}
+
+    @classmethod
+    def restore(
+        cls, dim: int, params: dict, keys: list, arrays: dict, meta: dict
+    ) -> "KnnIndex":
+        """Rebuild from :meth:`state_arrays` output — one block copy, no
+        per-row insertions."""
+        metric = meta.get("metric", params.get("metric", "cosine"))
+        index = cls(dim, metric=metric)
+        vectors = np.asarray(arrays["vectors"], dtype=np.float64).reshape(-1, dim)
+        if vectors.shape[0] != len(keys):
+            raise ValueError(
+                f"persisted index has {vectors.shape[0]} rows but "
+                f"{len(keys)} keys"
+            )
+        index._data = vectors.copy()
+        index._size = vectors.shape[0]
+        index._keys = list(keys)
+        counts: dict = {}
+        for key in index._keys:
+            counts[key] = counts.get(key, 0) + 1
+        index._key_counts = counts
+        return index

@@ -11,6 +11,11 @@ Definitions (verbatim from the figure, adapted to code):
   ``t``'s columns, gathering per-table matched-column lists.
 - ``RANK1`` — prefer tables matching the *largest number* of query columns;
 - ``RANK2`` — tie-break by the *smallest sum* of column distances.
+
+The searcher is index-agnostic: any :class:`repro.search.backend.VectorIndex`
+(the exact matrix backend, HNSW, ...) plugs in via the ``backend`` spec, and
+``NEARTABLES`` runs on the batched ``query_many`` — one index call for all
+of a query table's columns instead of one Python round-trip per column.
 """
 
 from __future__ import annotations
@@ -20,7 +25,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.search.index import KnnIndex
+from repro.search.backend import (
+    IndexSpec,
+    VectorIndex,
+    make_index,
+    normalize_index_spec,
+)
 
 
 @dataclass(frozen=True)
@@ -34,38 +44,68 @@ class ColumnEntry:
 class TableSearcher:
     """Column-embedding index + the Fig. 6 ranking procedure."""
 
-    def __init__(self, dim: int, metric: str = "cosine", candidate_factor: int = 3):
-        self.index = KnnIndex(dim, metric=metric)
+    def __init__(
+        self,
+        dim: int,
+        metric: str = "cosine",
+        candidate_factor: int = 3,
+        backend: IndexSpec | str | None = None,
+    ):
+        self.dim = dim
+        self.backend_spec = normalize_index_spec(backend, metric=metric)
+        self.index: VectorIndex = make_index(self.backend_spec, dim)
         self.candidate_factor = candidate_factor
-        self._columns_by_table: dict[str, list[tuple[ColumnEntry, np.ndarray]]] = (
-            defaultdict(list)
-        )
+        self._columns_by_table: dict[str, list[ColumnEntry]] = defaultdict(list)
+        #: Rows inserted through this searcher — a warm restore via
+        #: :meth:`adopt_index` performs none, which the lake benches assert.
+        self.insertions = 0
+
+    # ------------------------------------------------------------------ #
+    def adopt_index(self, index: VectorIndex) -> None:
+        """Serve a prebuilt (e.g. persisted-and-restored) index as-is.
+
+        Rebuilds the per-table bookkeeping from the index's own key list —
+        zero insertions, so a warm lake open costs index *deserialization*
+        only, never reconstruction.
+        """
+        if index.dim != self.dim:
+            raise ValueError(
+                f"index dim {index.dim} != searcher dim {self.dim}"
+            )
+        self.index = index
+        self._columns_by_table = defaultdict(list)
+        for entry in index.keys():
+            self._columns_by_table[entry.table].append(entry)
 
     # ------------------------------------------------------------------ #
     def add_column(self, table: str, column: str, vector: np.ndarray) -> None:
         entry = ColumnEntry(table, column)
         self.index.add(entry, vector)
-        self._columns_by_table[table].append((entry, np.asarray(vector, dtype=np.float64)))
+        self._columns_by_table[table].append(entry)
+        self.insertions += 1
 
     def add_table(self, table: str, column_names: list[str], vectors: np.ndarray) -> None:
         """Index all of a table's columns in one bulk append."""
-        pairs = [
-            (ColumnEntry(table, name), np.asarray(vector, dtype=np.float64))
-            for name, vector in zip(column_names, vectors)
-        ]
-        self.index.add_many(pairs)
-        self._columns_by_table[table].extend(pairs)
+        entries = [ColumnEntry(table, name) for name in column_names]
+        self.index.add_many(
+            [
+                (entry, np.asarray(vector, dtype=np.float64))
+                for entry, vector in zip(entries, vectors)
+            ]
+        )
+        self._columns_by_table[table].extend(entries)
+        self.insertions += len(entries)
 
     def remove_table(self, table: str) -> int:
         """Drop every indexed column of ``table``; returns columns removed.
 
-        One compaction pass over the index — the incremental-delete primitive
-        for :class:`repro.lake.catalog.LakeCatalog`.
+        One batch removal against the backend — the incremental-delete
+        primitive for :class:`repro.lake.catalog.LakeCatalog`.
         """
         entries = self._columns_by_table.pop(table, [])
         if not entries:
             return 0
-        return self.index.remove_many([entry for entry, _ in entries])
+        return self.index.remove_many(entries)
 
     def has_table(self, table: str) -> bool:
         return table in self._columns_by_table
@@ -83,10 +123,10 @@ class TableSearcher:
     ) -> list[tuple[ColumnEntry, float]]:
         """KNNSEARCH: the ``k * candidate_factor`` nearest columns."""
         want = k * self.candidate_factor
-        # Over-fetch to survive the exclude filter. (.get, not [], so the
-        # defaultdict is never polluted with an empty excluded-table entry.)
-        excluded = len(self._columns_by_table.get(exclude_table, ())) if exclude_table else 0
-        raw = self.index.query(vector, want + excluded)
+        raw = self.index.query(
+            np.asarray(vector, dtype=np.float64),
+            want + self._excluded_count(exclude_table),
+        )
         out = [
             (entry, distance)
             for entry, distance in raw
@@ -94,15 +134,49 @@ class TableSearcher:
         ]
         return out[:want]
 
+    def _excluded_count(self, exclude_table: str | None) -> int:
+        """Over-fetch allowance to survive the exclude filter. (.get, not
+        [], so the defaultdict is never polluted with an empty entry.)"""
+        if exclude_table is None:
+            return 0
+        return len(self._columns_by_table.get(exclude_table, ()))
+
+    def column_near_tables_many(
+        self,
+        vectors: np.ndarray,
+        k: int,
+        exclude_table: str | None = None,
+    ) -> list[dict[str, float]]:
+        """Batched COLUMNNEARTABLES: one ``query_many`` call answers every
+        query column, then each row reduces to table -> closest-column
+        distance."""
+        matrix = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        want = k * self.candidate_factor
+        batched = self.index.query_many(
+            matrix, want + self._excluded_count(exclude_table)
+        )
+        results: list[dict[str, float]] = []
+        for hits in batched:
+            nearest: dict[str, float] = {}
+            kept = 0
+            for entry, distance in hits:
+                if exclude_table is not None and entry.table == exclude_table:
+                    continue
+                if kept >= want:
+                    break
+                kept += 1
+                if entry.table not in nearest or distance < nearest[entry.table]:
+                    nearest[entry.table] = distance
+            results.append(nearest)
+        return results
+
     def column_near_tables(
         self, vector: np.ndarray, k: int, exclude_table: str | None = None
     ) -> dict[str, float]:
         """COLUMNNEARTABLES: table -> distance of its closest column."""
-        nearest: dict[str, float] = {}
-        for entry, distance in self.knn_columns(vector, k, exclude_table):
-            if entry.table not in nearest or distance < nearest[entry.table]:
-                nearest[entry.table] = distance
-        return nearest
+        return self.column_near_tables_many(
+            np.asarray(vector, dtype=np.float64)[None, :], k, exclude_table
+        )[0]
 
     def near_tables(
         self,
@@ -114,11 +188,15 @@ class TableSearcher:
 
         Returns ``(table, n_matched_columns, distance_sum)`` sorted by the
         paper's two-stage rank: most matched columns first, then smallest
-        summed distance.
+        summed distance. All column lookups ride one batched
+        :meth:`column_near_tables_many` call.
         """
         matches: dict[str, list[float]] = defaultdict(list)
-        for vector in np.atleast_2d(query_vectors):
-            for table, distance in self.column_near_tables(vector, k, exclude_table).items():
+        per_column = self.column_near_tables_many(
+            np.atleast_2d(query_vectors), k, exclude_table
+        )
+        for nearest in per_column:
+            for table, distance in nearest.items():
                 matches[table].append(distance)
         ranked = [
             (table, len(distances), float(sum(distances)))

@@ -95,3 +95,40 @@ def test_cli_query_external_csv(tmp_path, csv_dir, capsys):
 def test_cli_errors_on_missing_lake(tmp_path):
     with pytest.raises(SystemExit, match="not an ingested lake"):
         cli.main(["stats", "--lake", str(tmp_path / "void")])
+
+
+def test_cli_hnsw_backend_roundtrip(tmp_path, csv_dir, capsys, lake_tables):
+    """The whole CLI runs unmodified on the HNSW backend, warm loads reuse
+    the persisted graph, and a backend switch trips the fingerprint
+    guard."""
+    lake = str(tmp_path / "lake")
+    cli.main([
+        "ingest", "--lake", lake, "--csv-dir", str(csv_dir),
+        "--num-perm", "16", "--dim", "32", "--vocab-size", "400",
+        "--index-backend", "hnsw:m=12,ef_search=48",
+    ])
+    out = capsys.readouterr().out
+    assert "hnsw:ef_search=48,m=12 backend" in out
+    assert f"ingested {len(lake_tables)} tables" in out
+
+    # Warm re-ingest without the flag picks up the stored backend.
+    cli.main(["ingest", "--lake", lake, "--csv-dir", str(csv_dir)])
+    out = capsys.readouterr().out
+    assert "ingested 0 tables" in out
+    assert "hnsw:ef_search=48,m=12 backend" in out
+
+    cli.main(["query", "--lake", lake, "--table", "g1t1", "--mode", "union", "-k", "3"])
+    out = capsys.readouterr().out
+    assert "union results for 'g1t1'" in out
+
+    cli.main(["stats", "--lake", lake])
+    out = capsys.readouterr().out
+    assert '"index_backend": "hnsw:ef_search=48,m=12"' in out
+    assert '"index_insertions": 0' in out  # warm load deserialized the graph
+
+    # A store built under HNSW refuses to serve as exact.
+    with pytest.raises(SystemExit, match="fingerprint mismatch"):
+        cli.main([
+            "query", "--lake", lake, "--table", "g1t1",
+            "--index-backend", "exact",
+        ])

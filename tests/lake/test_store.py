@@ -1,10 +1,13 @@
 """On-disk `LakeStore` persistence: exact round-trips, replacement, removal,
-manifest-order determinism."""
+manifest-order determinism, manifest-recorded sizes, and the persisted
+vector index."""
 
 import numpy as np
 import pytest
 
 from repro.lake.store import LakeStore, LakeTableRecord
+from repro.search.backend import IndexSpec, make_index
+from repro.search.tables import ColumnEntry
 from repro.sketch.pipeline import sketch_table
 
 
@@ -90,6 +93,96 @@ def test_stats_counts(tmp_path, city_table, product_table, tiny_sketch_config):
     assert stats["n_rows"] == city_table.n_rows + product_table.n_rows
     assert stats["disk_bytes"] > 0
     assert stats["fingerprint"] == "fp"
+
+
+def test_stats_sums_manifest_recorded_sizes(
+    tmp_path, city_table, product_table, tiny_sketch_config, monkeypatch
+):
+    """`disk_bytes` is recorded per entry at write time; stats() must sum
+    the manifest, not stat every archive on disk."""
+    store = LakeStore(tmp_path, "fp")
+    store.save_table(_record(city_table, tiny_sketch_config))
+    store.save_table(_record(product_table, tiny_sketch_config))
+    expected = sum(
+        (tmp_path / entry["file"]).stat().st_size
+        for entry in store._manifest["tables"]
+    )
+    for entry in store._manifest["tables"]:
+        assert entry["disk_bytes"] == (tmp_path / entry["file"]).stat().st_size
+
+    import pathlib
+
+    def no_stat(self, *args, **kwargs):
+        raise AssertionError("stats() must not stat table archives")
+
+    monkeypatch.setattr(pathlib.Path, "stat", no_stat)
+    assert store.stats()["disk_bytes"] == expected
+
+
+# --------------------------------------------------------------------- #
+# Persisted vector index
+# --------------------------------------------------------------------- #
+def _column_index(spec="exact", n=12, dim=8, seed=0):
+    rng = np.random.default_rng(seed)
+    index = make_index(spec, dim)
+    index.add_many(
+        [
+            (ColumnEntry(f"t{i % 4}", f"c{i}"), rng.normal(size=dim))
+            for i in range(n)
+        ]
+    )
+    return index
+
+
+@pytest.mark.parametrize("spec", ["exact", "hnsw:m=6,ef_search=32"])
+def test_save_load_index_round_trip(tmp_path, spec):
+    store = LakeStore(tmp_path, "fp")
+    assert store.load_index(8) is None and store.index_spec() is None
+    index = _column_index(spec)
+    store.save_index(index, IndexSpec.parse(spec))
+
+    reopened = LakeStore.open(tmp_path)
+    assert reopened.index_spec() == IndexSpec.parse(spec)
+    assert LakeStore.peek_index_spec(tmp_path) == IndexSpec.parse(spec)
+    restored = reopened.load_index(8)
+    assert restored is not None
+    assert restored.keys() == index.keys()
+    query = np.ones(8)
+    assert [k for k, _ in restored.query(query, 5)] == [
+        k for k, _ in index.query(query, 5)
+    ]
+    assert reopened.stats()["index_backend"] == IndexSpec.parse(spec).canonical()
+    assert reopened.stats()["index_disk_bytes"] > 0
+
+
+def test_save_empty_index_round_trip(tmp_path):
+    store = LakeStore(tmp_path, "fp")
+    store.save_index(make_index("exact", 8), IndexSpec("exact", {}))
+    restored = LakeStore.open(tmp_path).load_index(8)
+    assert restored is not None and len(restored) == 0
+
+
+def test_corrupt_index_archive_degrades_to_rebuild(tmp_path):
+    """A truncated/torn index.npz (crash mid-write on an old layout) must
+    make load_index return None — the rebuild fallback — not raise."""
+    store = LakeStore(tmp_path, "fp")
+    store.save_index(_column_index(), IndexSpec("exact", {}))
+    (tmp_path / "index.npz").write_bytes(b"not a zip archive")
+    with pytest.warns(RuntimeWarning, match="could not be restored"):
+        assert LakeStore.open(tmp_path).load_index(8) is None
+
+
+def test_drop_index_keeps_spec(tmp_path):
+    store = LakeStore(tmp_path, "fp")
+    assert not store.drop_index()
+    spec = IndexSpec.parse("hnsw:m=6")
+    store.save_index(_column_index("hnsw:m=6"), spec)
+    assert store.drop_index()
+    assert store.load_index(8) is None
+    # The backend spec is configuration, not artifact: it survives the
+    # drop so a rebuild happens under the same backend.
+    assert LakeStore.peek_index_spec(tmp_path) == spec
+    assert LakeStore.open(tmp_path).index_spec() == spec
 
 
 def test_failed_array_write_leaves_manifest_clean(
