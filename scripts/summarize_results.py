@@ -32,6 +32,7 @@ EXPERIMENT_ORDER = [
     "lake_service",
     "embed_engine",
     "index_backends",
+    "sharded_lake",
 ]
 
 

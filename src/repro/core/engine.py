@@ -31,6 +31,7 @@ size B performs exactly ``ceil(N / B)`` forwards.
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -93,6 +94,10 @@ class EmbeddingEngine:
         self.bucket = bucket
         #: Trunk invocations — the observable "one forward per batch" win.
         self.forward_calls = 0
+        # Guards the counter when embed_corpus fans batches across threads;
+        # the forward math itself is pure reads of frozen parameters (and
+        # graph construction is off per-thread under no_grad).
+        self._counter_lock = threading.Lock()
 
     @property
     def dim(self) -> int:
@@ -131,7 +136,8 @@ class EmbeddingEngine:
             contextual = self.model.encoder(embedded, batch["attention_mask"])
             pooled = self.model.pool(contextual).numpy()
             first_last = ((embedded + contextual) * 0.5).numpy()
-        self.forward_calls += 1
+        with self._counter_lock:
+            self.forward_calls += 1
 
         max_len = self.encoder.config.max_seq_len
         results: list[TableEmbeddings] = []
@@ -160,13 +166,19 @@ class EmbeddingEngine:
         return self._forward_group(encodeds, [s.n_cols for s in sketches])
 
     def embed_corpus(
-        self, sketches: list[TableSketch], batch_size: int | None = None
+        self,
+        sketches: list[TableSketch],
+        batch_size: int | None = None,
+        workers: int | None = None,
     ) -> list[TableEmbeddings]:
         """Embed a whole corpus in ``ceil(N / batch_size)`` forwards.
 
         With bucketing on, tables are grouped by encoded length so each
         batch pads to a near-uniform max; output order always matches the
-        input order.
+        input order. ``workers`` fans independent batch forwards across a
+        thread pool (each batch's math touches only its own arrays, so
+        results are bitwise-identical to the sequential path; the BLAS
+        matmuls release the GIL, which is where the overlap comes from).
         """
         if batch_size is None:
             batch_size = self.batch_size
@@ -178,13 +190,24 @@ class EmbeddingEngine:
         order = list(range(len(sketches)))
         if self.bucket:
             order.sort(key=lambda i: encodeds[i].length)
-        results: list[TableEmbeddings | None] = [None] * len(sketches)
-        for start in range(0, len(order), batch_size):
-            group = order[start : start + batch_size]
-            group_results = self._forward_group(
+        groups = [
+            order[start : start + batch_size]
+            for start in range(0, len(order), batch_size)
+        ]
+
+        def run_group(group: list[int]) -> list[TableEmbeddings]:
+            return self._forward_group(
                 [encodeds[i] for i in group],
                 [sketches[i].n_cols for i in group],
             )
+
+        results: list[TableEmbeddings | None] = [None] * len(sketches)
+        if workers and workers > 1 and len(groups) > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                per_group = list(pool.map(run_group, groups))
+        else:
+            per_group = [run_group(group) for group in groups]
+        for group, group_results in zip(groups, per_group):
             for index, result in zip(group, group_results):
                 results[index] = result
         return results  # type: ignore[return-value]

@@ -7,8 +7,9 @@ is that serving substrate:
 - :mod:`repro.lake.serialization` — sketches <-> npz/JSON artifacts, plus
   config fingerprinting so stale artifacts are detected, never silently
   reused;
-- :mod:`repro.lake.store` — :class:`LakeStore`, the on-disk layout (one npz
-  per table + a JSON manifest);
+- :mod:`repro.lake.store` — :class:`LakeStore`, the hash-partitioned on-disk
+  layout (N :class:`LakeShard` s, each one npz per table + a JSON manifest +
+  a persisted per-shard index);
 - :mod:`repro.lake.bundle` — model/tokenizer persistence so a warm process
   can embed *query* tables identically to the one that built the lake;
 - :mod:`repro.lake.catalog` — :class:`LakeCatalog`, add/remove/update with
@@ -26,15 +27,17 @@ from repro.lake.serialization import (
     unpack_table_sketch,
 )
 from repro.lake.service import LakeService
-from repro.lake.store import LakeStore, LakeTableRecord
+from repro.lake.store import LakeShard, LakeStore, LakeTableRecord, default_n_shards
 
 __all__ = [
     "FingerprintMismatchError",
     "LakeCatalog",
     "LakeService",
+    "LakeShard",
     "LakeStore",
     "LakeTableRecord",
     "config_fingerprint",
+    "default_n_shards",
     "pack_table_sketch",
     "unpack_table_sketch",
 ]

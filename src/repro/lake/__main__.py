@@ -5,25 +5,33 @@ Commands::
     ingest  --lake LAKE --csv-dir DIR   # build or incrementally extend a lake
     query   --lake LAKE (--table NAME | --csv FILE) [--mode union|join|subset]
     remove  --lake LAKE --table NAME    # drop one table (incremental)
+    reshard --lake LAKE --shards N      # migrate to an N-shard layout
     stats   --lake LAKE                 # catalog + store statistics
 
 ``--index-backend`` picks the vector-index backend for a *new* lake
 (``exact`` or ``hnsw``, optionally with hyperparameters, e.g.
-``hnsw:m=16,ef_search=48``). The spec is folded into the lake's config
-fingerprint: an existing lake always reopens under the backend it was
-built with, and naming a different one fails fast instead of silently
-serving a mismatched index.
+``hnsw:m=16,ef_search=48``). ``--shards`` picks the shard count for a
+*new* lake (default ``$REPRO_LAKE_SHARDS`` or 1 — the flat layout). Both
+are folded into the lake's config fingerprint: an existing lake always
+reopens under the backend and layout it was built with, and naming a
+different one fails fast instead of silently serving mismatched
+artifacts; ``reshard`` is the one-shot in-place migration between shard
+counts (no re-embedding — stored vectors are re-routed and the per-shard
+indexes rebuilt).
 
 ``ingest`` on a fresh directory trains the WordPiece vocabulary on the CSV
 corpus, builds the trunk, and persists model + vocab + artifacts. On an
 existing lake it warm-loads the bundle and embeds *only* CSVs not already
 in the catalog — the offline-index / online-query split of §V.
+``--ingest-workers`` fans the whole pipeline (sketching, batched trunk
+forwards, per-shard writes) across threads.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import shutil
 import sys
 import time
 from pathlib import Path
@@ -36,7 +44,14 @@ from repro.lake.bundle import has_bundle, load_bundle, save_bundle
 from repro.lake.catalog import LakeCatalog
 from repro.lake.serialization import FingerprintMismatchError, config_fingerprint
 from repro.lake.service import LakeService
-from repro.lake.store import LakeStore
+from repro.lake.store import (
+    INDEX_NAME,
+    MANIFEST_NAME,
+    SHARDS_DIR,
+    TABLES_DIR,
+    LakeStore,
+    default_n_shards,
+)
 from repro.search.backend import normalize_index_spec, validate_index_spec
 from repro.sketch.pipeline import SketchConfig
 from repro.table.csvio import read_csv
@@ -50,16 +65,19 @@ def _load_service(lake: str, index_backend: str | None = None) -> LakeService:
 
     ``index_backend=None`` serves whatever backend the lake was built
     with; an explicit spec is checked against the store fingerprint, so a
-    backend switch surfaces as a :class:`FingerprintMismatchError`.
+    backend switch surfaces as a :class:`FingerprintMismatchError`. The
+    shard count always comes from the on-disk layout.
     """
     if not has_bundle(lake):
         sys.exit(f"error: {lake!r} is not an ingested lake (run `ingest` first)")
+    _recover_interrupted_reshard(lake)
     model, encoder, sbert = load_bundle(lake)
     spec = normalize_index_spec(
         index_backend if index_backend is not None else LakeStore.peek_index_spec(lake)
     )
+    n_shards = LakeStore.peek_n_shards(lake) or 1
     fingerprint = config_fingerprint(
-        model.config, sbert=sbert, model=model, index_spec=spec
+        model.config, sbert=sbert, model=model, index_spec=spec, n_shards=n_shards
     )
     store = LakeStore.open(lake, expected_fingerprint=fingerprint)
     catalog = LakeCatalog.from_store(
@@ -80,14 +98,25 @@ def cmd_ingest(args: argparse.Namespace) -> None:
     if args.index_backend is not None:
         # Fail a typo'd spec here, before the vocab/trunk build pays for it.
         validate_index_spec(args.index_backend)
+    if args.shards is not None and args.shards < 1:
+        # Same early-exit rule: never leave a half-built bundle behind.
+        sys.exit(f"error: --shards must be >= 1, got {args.shards}")
     tables = _read_csv_dir(args.csv_dir)
     started = time.perf_counter()
     if has_bundle(args.lake):
+        on_disk = LakeStore.peek_n_shards(args.lake) or 1
+        if args.shards is not None and args.shards != on_disk:
+            sys.exit(
+                f"error: lake has {on_disk} shard(s); run "
+                f"`python -m repro.lake reshard --lake {args.lake} "
+                f"--shards {args.shards}` to change the layout"
+            )
         service = _load_service(args.lake, index_backend=args.index_backend)
         catalog = service.catalog
         print(
             f"warm lake: {len(catalog)} tables already indexed "
-            f"[{catalog.index_spec.canonical()} backend]"
+            f"[{catalog.index_spec.canonical()} backend, "
+            f"{catalog.n_shards} shard(s)]"
         )
     else:
         texts: list[str] = []
@@ -110,23 +139,27 @@ def cmd_ingest(args: argparse.Namespace) -> None:
         sbert = HashedSentenceEncoder(dim=args.sbert_dim) if args.sbert_dim else None
         save_bundle(args.lake, model, tokenizer, sbert=sbert)
         spec = normalize_index_spec(args.index_backend)
+        n_shards = args.shards if args.shards is not None else default_n_shards()
         fingerprint = config_fingerprint(
-            config, sbert=sbert, model=model, index_spec=spec
+            config, sbert=sbert, model=model, index_spec=spec, n_shards=n_shards
         )
-        store = LakeStore(args.lake, fingerprint)
+        store = LakeStore(args.lake, fingerprint, n_shards=n_shards)
         catalog = LakeCatalog(
             TableEmbedder(model, encoder), sbert=sbert, store=store,
             index_backend=spec,
         )
         print(
             f"new lake at {args.lake} (fingerprint {fingerprint}, "
-            f"{spec.canonical()} backend)"
+            f"{spec.canonical()} backend, {n_shards} shard(s))"
         )
     fresh = {t.name: t for t in tables if t.name not in catalog}
     skipped = len(tables) - len(fresh)
     forwards_before = catalog.embed_calls
     catalog.add_tables(
-        fresh, batch_size=args.batch_size, sketch_workers=args.sketch_workers
+        fresh,
+        batch_size=args.batch_size,
+        sketch_workers=args.sketch_workers,
+        ingest_workers=args.ingest_workers,
     )
     added = len(fresh)
     forwards = catalog.embed_calls - forwards_before
@@ -171,6 +204,125 @@ def cmd_stats(args: argparse.Namespace) -> None:
     print(json.dumps(service.stats(), indent=2, sort_keys=True))
 
 
+#: Store-layout files swapped by ``reshard`` — everything under the lake
+#: root that belongs to the store (the model/vocab bundle stays put).
+_STORE_FILES = (MANIFEST_NAME, INDEX_NAME, TABLES_DIR, SHARDS_DIR)
+_RESHARD_BACKUP = ".reshard.old"
+_RESHARD_STAGE = ".reshard.tmp"
+#: Tables staged per write batch during reshard — bounds peak memory to a
+#: chunk of records instead of the whole lake.
+RESHARD_CHUNK = 256
+
+
+def _swap_store_layout(lake_root: Path, staged_root: Path) -> None:
+    """Replace the lake's store files with the staged re-sharded ones.
+
+    The old layout is parked under ``.reshard.old`` until the new one is
+    fully moved in; a kill inside the swap window leaves the root without
+    a manifest but with the complete backup, which
+    :func:`_recover_interrupted_reshard` rolls back on the next command.
+    """
+    backup = lake_root / _RESHARD_BACKUP
+    if backup.exists():
+        shutil.rmtree(backup)
+    backup.mkdir()
+    for name in _STORE_FILES:
+        source = lake_root / name
+        if source.exists():
+            shutil.move(str(source), str(backup / name))
+    for name in _STORE_FILES:
+        source = staged_root / name
+        if source.exists():
+            shutil.move(str(source), str(lake_root / name))
+    shutil.rmtree(staged_root)
+    shutil.rmtree(backup)
+
+
+def _recover_interrupted_reshard(lake: str) -> None:
+    """Roll back a reshard that died mid-swap, then sweep stage dirs.
+
+    A backup dir plus a missing root manifest means the kill landed inside
+    the swap window: the backup is the last complete store, so it moves
+    back. A backup beside an intact root manifest means the kill landed
+    after the new layout was fully in place — the backup (and any stage
+    dir) is just debris.
+    """
+    lake_root = Path(lake)
+    backup = lake_root / _RESHARD_BACKUP
+    if backup.exists():
+        if not (lake_root / MANIFEST_NAME).exists():
+            print(
+                f"recovering interrupted reshard: restoring previous store "
+                f"layout at {lake}"
+            )
+            for name in _STORE_FILES:
+                source = backup / name
+                if source.exists():
+                    target = lake_root / name
+                    if target.exists():  # partial move-in from the crash
+                        shutil.rmtree(target) if target.is_dir() else target.unlink()
+                    shutil.move(str(source), str(target))
+        shutil.rmtree(backup)
+    stage = lake_root / _RESHARD_STAGE
+    if stage.exists():
+        shutil.rmtree(stage)
+
+
+def cmd_reshard(args: argparse.Namespace) -> None:
+    if args.shards < 1:
+        sys.exit(f"error: --shards must be >= 1, got {args.shards}")
+    if not has_bundle(args.lake):
+        sys.exit(f"error: {args.lake!r} is not an ingested lake (run `ingest` first)")
+    _recover_interrupted_reshard(args.lake)
+    old_n = LakeStore.peek_n_shards(args.lake)
+    if old_n is None:
+        sys.exit(f"error: {args.lake!r} has no lake store (run `ingest` first)")
+    if args.shards == old_n:
+        print(f"lake already has {old_n} shard(s); nothing to do")
+        return
+    started = time.perf_counter()
+    model, encoder, sbert = load_bundle(args.lake)
+    spec = normalize_index_spec(LakeStore.peek_index_spec(args.lake))
+    old_fingerprint = config_fingerprint(
+        model.config, sbert=sbert, model=model, index_spec=spec, n_shards=old_n
+    )
+    store = LakeStore.open(args.lake, expected_fingerprint=old_fingerprint)
+    new_fingerprint = config_fingerprint(
+        model.config, sbert=sbert, model=model, index_spec=spec,
+        n_shards=args.shards,
+    )
+    staged = Path(args.lake) / _RESHARD_STAGE
+    if staged.exists():
+        shutil.rmtree(staged)
+    staged_store = LakeStore(staged, new_fingerprint, n_shards=args.shards)
+    # Stream records through in global-order chunks: peak memory is one
+    # chunk of sketches+vectors, never the whole lake.
+    n_tables = 0
+    chunk: list = []
+    for record in store.load_all():
+        chunk.append(record)
+        n_tables += 1
+        if len(chunk) >= RESHARD_CHUNK:
+            staged_store.save_tables(chunk, workers=args.workers)
+            chunk = []
+    if chunk:
+        staged_store.save_tables(chunk, workers=args.workers)
+    # Rebuild + persist the per-shard indexes from the stored vectors —
+    # zero trunk forwards; resharding never re-embeds.
+    catalog = LakeCatalog.from_store(
+        TableEmbedder(model, encoder), staged_store, sbert=sbert,
+        index_backend=spec,
+    )
+    assert catalog.embed_calls == 0, "reshard must not re-embed"
+    _swap_store_layout(Path(args.lake), staged)
+    elapsed = time.perf_counter() - started
+    print(
+        f"resharded {args.lake}: {old_n} -> {args.shards} shard(s), "
+        f"{n_tables} tables re-routed and indexes rebuilt in "
+        f"{elapsed:.2f}s (no re-embedding)"
+    )
+
+
 # --------------------------------------------------------------------- #
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -199,7 +351,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ingest.add_argument(
         "--sketch-workers", type=int, default=None,
-        help="threads for the parallel sketching stage (default: sequential)",
+        help="threads for the parallel sketching stage (default: follow "
+             "--ingest-workers)",
+    )
+    ingest.add_argument(
+        "--ingest-workers", type=int, default=None,
+        help="threads for the whole ingest pipeline: sketching, batched "
+             "trunk forwards, and per-shard store writes (default: "
+             "sequential)",
+    )
+    ingest.add_argument(
+        "--shards", type=int, default=None,
+        help="shard count for a NEW lake (default: $REPRO_LAKE_SHARDS or "
+             "1 = flat layout); an existing lake keeps its layout — use "
+             "`reshard` to change it",
     )
     ingest.add_argument(
         "--index-backend", default=None, metavar="SPEC",
@@ -228,6 +393,21 @@ def build_parser() -> argparse.ArgumentParser:
     remove.add_argument("--lake", required=True)
     remove.add_argument("--table", required=True)
     remove.set_defaults(func=cmd_remove)
+
+    reshard = sub.add_parser(
+        "reshard",
+        help="one-shot in-place migration to a different shard count "
+             "(re-routes stored vectors, rebuilds per-shard indexes; "
+             "never re-embeds)",
+    )
+    reshard.add_argument("--lake", required=True)
+    reshard.add_argument("--shards", type=int, required=True,
+                         help="target shard count (1 = flat layout)")
+    reshard.add_argument(
+        "--workers", type=int, default=None,
+        help="threads for the per-shard artifact writes",
+    )
+    reshard.set_defaults(func=cmd_reshard)
 
     stats = sub.add_parser("stats", help="print catalog + store statistics")
     stats.add_argument("--lake", required=True)

@@ -6,14 +6,21 @@ Holds every table's :class:`LakeTableRecord` plus the live column index
 
 - an **add** sketches and embeds *only the new table* and bulk-appends its
   column rows to the index (amortized O(cols) — no re-stack of the lake);
-- a **bulk add** routes the whole delta through the batched
-  :class:`~repro.core.engine.EmbeddingEngine`: N tables cost
-  ``ceil(N / batch_size)`` trunk forwards, each producing table *and*
-  column embeddings from one shared pass;
+- a **bulk add** routes the whole delta through the parallel ingest
+  pipeline: threaded sketching, then ``ceil(N / batch_size)`` batched
+  :class:`~repro.core.engine.EmbeddingEngine` forwards (fanned across
+  ``ingest_workers`` threads), then per-shard store writes flushed
+  independently and in parallel;
 - a **remove** compacts the index in one pass and never touches the trunk;
 - attached to a :class:`~repro.lake.store.LakeStore`, every mutation is
-  persisted immediately — table artifacts *and* the built vector index —
-  so the on-disk lake is always warm-loadable.
+  persisted immediately — table artifacts *and* the built vector index
+  (per shard: only dirty shards rewrite) — so the on-disk lake is always
+  warm-loadable.
+
+When the store is sharded (``n_shards > 1``), the column index is a
+:class:`~repro.search.backend.ShardedIndex`: queries fan ``query_many``
+across the per-shard indexes and merge — rankings are bitwise-identical to
+the flat layout, which ``tests/lake/test_sharding.py`` asserts.
 
 The column index is a pluggable :class:`~repro.search.backend.VectorIndex`
 backend (``index_backend`` spec: ``"exact"`` or ``"hnsw"``, with
@@ -28,15 +35,15 @@ counter: a warm load restores the persisted index and performs zero.
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, defaultdict
 
 import numpy as np
 
 from repro.core.embed import TableEmbedder, finalize_column_vectors
 from repro.core.engine import TableEmbeddings, sketch_corpus
 from repro.lake.serialization import FingerprintMismatchError
-from repro.lake.store import LakeStore, LakeTableRecord
-from repro.search.backend import IndexSpec, normalize_index_spec
+from repro.lake.store import LakeStore, LakeTableRecord, default_n_shards
+from repro.search.backend import IndexSpec, normalize_index_spec, stable_shard
 from repro.search.tables import TableSearcher
 from repro.sketch.pipeline import TableSketch, sketch_table
 from repro.table.schema import Table
@@ -70,6 +77,7 @@ class LakeCatalog:
         store: LakeStore | None = None,
         batch_size: int = 16,
         index_backend: IndexSpec | str | None = None,
+        n_shards: int | None = None,
     ):
         self.embedder = embedder
         self.engine = embedder.engine
@@ -81,6 +89,12 @@ class LakeCatalog:
         self.dim = embedder.dim + (sbert.dim if sbert else 0)
         self.index_spec = normalize_index_spec(index_backend)
         if store is not None:
+            if n_shards is not None and n_shards != store.n_shards:
+                raise ValueError(
+                    f"catalog n_shards={n_shards} disagrees with the "
+                    f"attached store's {store.n_shards}"
+                )
+            n_shards = store.n_shards
             stored_spec = store.index_spec()
             if stored_spec is None:
                 # Record the backend *before* any slow embedding work: an
@@ -93,7 +107,13 @@ class LakeCatalog:
                     stored_spec.canonical(),
                     where="lake index backend",
                 )
-        self.searcher = TableSearcher(self.dim, backend=self.index_spec)
+        #: Shard count of the column index (and of the attached store).
+        #: Rankings are shard-count-invariant; sharding is a throughput /
+        #: persistence-granularity lever, not a semantics knob.
+        self.n_shards = n_shards if n_shards is not None else default_n_shards()
+        self.searcher = TableSearcher(
+            self.dim, backend=self.index_spec, n_shards=self.n_shards
+        )
         self.records: dict[str, LakeTableRecord] = {}
         #: Trunk forwards performed *by this catalog*; warm loads and
         #: removals must not increment it.
@@ -126,6 +146,8 @@ class LakeCatalog:
         spec = index_backend if index_backend is not None else store.index_spec()
         catalog = cls(embedder, sbert=sbert, store=store, index_backend=spec)
         records = list(store.load_all())
+        if store.n_shards > 1:
+            return catalog._warm_sharded(store, records)
         index = store.load_index(catalog.dim)
         if index is not None and _index_matches_records(index, records):
             for record in records:
@@ -137,20 +159,62 @@ class LakeCatalog:
             catalog._persist_index()
         return catalog
 
+    def _warm_sharded(
+        self, store: LakeStore, records: "list[LakeTableRecord]"
+    ) -> "LakeCatalog":
+        """Shard-wise warm open: adopt every shard whose persisted index is
+        consistent with that shard's records, rebuild (and re-persist) only
+        the rest — one torn shard artifact never forces a full-lake rebuild,
+        and ``searcher.insertions`` counts exactly the rebuilt columns.
+        """
+        index = store.load_index(self.dim)
+        by_shard: dict[int, list[LakeTableRecord]] = defaultdict(list)
+        for record in records:
+            by_shard[stable_shard(record.name, store.n_shards)].append(record)
+        rebuild: set[int] = set()
+        for shard_id in range(store.n_shards):
+            if shard_id in index.restored_shards and _index_matches_records(
+                index.subs[shard_id], by_shard.get(shard_id, [])
+            ):
+                continue
+            rebuild.add(shard_id)
+        for shard_id in rebuild:
+            index.reset_shard(shard_id)
+            # Mark even empty rebuilt shards dirty so the re-save below
+            # heals their on-disk artifact (mutation-counter handshake).
+            index.mark_dirty(shard_id)
+        self.searcher.adopt_index(index)
+        for record in records:
+            self.records[record.name] = record
+            if stable_shard(record.name, store.n_shards) in rebuild:
+                self.searcher.add_table(
+                    record.name, record.column_names, record.column_vectors
+                )
+        if rebuild:
+            self._persist_index()
+        return self
+
     # ------------------------------------------------------------------ #
     def _embed_sketches(
-        self, sketches: list[TableSketch], batch_size: int | None = None
+        self,
+        sketches: list[TableSketch],
+        batch_size: int | None = None,
+        workers: int | None = None,
     ) -> list[TableEmbeddings]:
         """Run the engine, charging its forwards to this catalog's counter.
 
         The charge is computed as ``ceil(N / batch_size)`` rather than by
         diffing the (possibly shared) engine counter: the service's query
         path deliberately embeds outside its lock, so concurrent callers
-        must not see each other's forwards in ``embed_calls``.
+        must not see each other's forwards in ``embed_calls``. ``workers``
+        fans independent batch forwards across threads (bitwise-identical
+        results; the charge is the same deterministic ceil).
         """
         if batch_size is None:
             batch_size = self.batch_size
-        results = self.engine.embed_corpus(sketches, batch_size=batch_size)
+        results = self.engine.embed_corpus(
+            sketches, batch_size=batch_size, workers=workers
+        )
         self.embed_calls += -(-len(sketches) // batch_size)
         return results
 
@@ -201,18 +265,20 @@ class LakeCatalog:
             self.store.save_table(record)
             self._persist_index()
 
-    def _persist_index(self) -> None:
+    def _persist_index(self, workers: int | None = None) -> None:
         """Keep the on-disk index in lockstep with the live one, so a
         mutation updates (never invalidates) the persisted artifact.
 
-        Each save rewrites the full index npz — O(total columns) per
-        delta. At reproduction scale that is a few-ms write bought for
-        crash-safe warm opens; bulk ingest amortizes it to one save per
-        batch, and sharded stores (ROADMAP) are the lever when a single
-        artifact grows past that.
+        A flat store rewrites its single index npz — O(total columns) per
+        delta. A sharded store rewrites only the *dirty* shards (one for a
+        single-table delta), optionally across ``workers`` threads — the
+        per-shard-write lever that keeps incremental persistence O(shard),
+        not O(lake).
         """
         if self.store is not None:
-            self.store.save_index(self.searcher.index, self.index_spec)
+            self.store.save_index(
+                self.searcher.index, self.index_spec, workers=workers
+            )
 
     # ------------------------------------------------------------------ #
     def add_table(self, table: Table) -> LakeTableRecord:
@@ -230,12 +296,20 @@ class LakeCatalog:
         tables: dict[str, Table],
         batch_size: int | None = None,
         sketch_workers: int | None = None,
+        ingest_workers: int | None = None,
     ) -> list[LakeTableRecord]:
-        """Bulk add: batched embedding plus one manifest flush.
+        """Bulk add through the parallel ingest pipeline.
 
-        The whole delta is sketched (optionally across ``sketch_workers``
-        threads), then embedded in ``ceil(N / batch_size)`` length-bucketed
-        forwards — table and column embeddings come from the same pass.
+        The whole delta is sketched across threads, embedded in
+        ``ceil(N / batch_size)`` length-bucketed forwards (batches fanned
+        across threads too), and written to the store with one manifest
+        flush per touched shard — shards flush independently and in
+        parallel, so a crash loses at most one shard's unflushed tail.
+
+        ``ingest_workers`` sets the thread count for every stage;
+        ``sketch_workers`` overrides it for the sketching stage only
+        (back-compat knob). Results are bitwise-identical at any worker
+        count.
         """
         for table in tables.values():
             if table.name in self.records:
@@ -243,18 +317,24 @@ class LakeCatalog:
                     f"table {table.name!r} already in catalog; use update_table"
                 )
         ordered = list(tables.values())
+        workers = ingest_workers
         sketches = sketch_corpus(
-            ordered, self.sketch_config, self._hasher, workers=sketch_workers
+            ordered,
+            self.sketch_config,
+            self._hasher,
+            workers=sketch_workers if sketch_workers is not None else workers,
         )
-        embeddings = self._embed_sketches(sketches, batch_size=batch_size)
+        embeddings = self._embed_sketches(
+            sketches, batch_size=batch_size, workers=workers
+        )
         records = []
         for table, sketch, embedding in zip(ordered, sketches, embeddings):
             record = self._build_record(table, sketch, embedding)
             self._register(record, persist=False)
             records.append(record)
         if self.store is not None:
-            self.store.save_tables(records)
-            self._persist_index()
+            self.store.save_tables(records, workers=workers)
+            self._persist_index(workers=workers)
         return records
 
     def remove_table(self, name: str, persist_index: bool = True) -> bool:
@@ -303,4 +383,5 @@ class LakeCatalog:
             "index_insertions": self.searcher.insertions,
             "batch_size": self.batch_size,
             "sbert": self.sbert is not None,
+            "n_shards": self.n_shards,
         }

@@ -29,6 +29,9 @@ from repro.table.schema import ColumnType
 #: Bumped whenever the on-disk artifact layout changes shape.
 #: v2: persisted vector index (index.npz + manifest spec), per-entry
 #: disk_bytes, and the index-backend spec folded into the fingerprint.
+#: (The sharded layout is additive — flat stores are unchanged, and a
+#: sharded store is distinguished by its manifest's ``sharded`` flag plus
+#: the shard count folded into the fingerprint — so v2 still covers it.)
 FORMAT_VERSION = 2
 
 
@@ -63,6 +66,7 @@ def config_fingerprint(
     sbert=None,
     model=None,
     index_spec: "IndexSpec | str | None" = None,
+    n_shards: int | None = None,
 ) -> str:
     """Stable hex fingerprint of everything embeddings depend on.
 
@@ -72,7 +76,11 @@ def config_fingerprint(
     digested so a fine-tune invalidates a pre-finetune lake; ``index_spec``
     the vector-index backend the lake's persisted index was built with
     (``None`` normalizes to the default exact backend), so exact- and
-    HNSW-built stores never cross-load.
+    HNSW-built stores never cross-load; ``n_shards`` the lake's shard
+    partitioning (``None``/1 — the flat layout — is fingerprint-identical
+    to pre-sharding stores, so existing lakes keep opening; any other
+    count is folded in, so differently-sharded stores never cross-load
+    without an explicit ``reshard``).
     """
     payload: dict = {
         "format": FORMAT_VERSION,
@@ -87,6 +95,8 @@ def config_fingerprint(
         },
         "index": normalize_index_spec(index_spec).to_dict(),
     }
+    if n_shards is not None and n_shards > 1:
+        payload["shards"] = int(n_shards)
     if model is not None:
         payload["weights"] = _weights_digest(model)
     blob = json.dumps(payload, sort_keys=True).encode("utf-8")

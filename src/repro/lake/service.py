@@ -184,12 +184,18 @@ class LakeService:
         tables: dict[str, Table],
         batch_size: int | None = None,
         sketch_workers: int | None = None,
+        ingest_workers: int | None = None,
     ):
-        """Bulk ingest through the batched embedding engine:
-        ``ceil(N / batch_size)`` trunk forwards for N new tables."""
+        """Bulk ingest through the parallel pipeline:
+        ``ceil(N / batch_size)`` trunk forwards for N new tables, fanned
+        across ``ingest_workers`` threads along with sketching and the
+        per-shard store writes."""
         with self._lock:
             return self.catalog.add_tables(
-                tables, batch_size=batch_size, sketch_workers=sketch_workers
+                tables,
+                batch_size=batch_size,
+                sketch_workers=sketch_workers,
+                ingest_workers=ingest_workers,
             )
 
     def remove_table(self, name: str) -> bool:

@@ -1,13 +1,30 @@
 """`LakeStore` — the on-disk artifact layout of an indexed data lake.
 
-Layout under one root directory::
+A lake is **hash-partitioned into N shards**; each shard is a fully
+self-contained single-directory store (:class:`LakeShard`) with its own
+manifest, table npz files, and persisted ``index.npz``. Tables route to a
+shard by a stable hash of their name (:func:`repro.search.backend.stable_shard`),
+so a table's artifacts — and all of its index rows — always co-locate.
+
+Layout with ``n_shards == 1`` (the default, byte-compatible with the
+pre-sharding flat layout)::
 
     <root>/
       manifest.json          # fingerprint + ordered table entries
-      index.npz              # persisted vector index (exact matrix or
-                             # HNSW graph arrays), versioned via manifest
+      index.npz              # persisted vector index
       tables/
         t000001.npz          # one archive per table (see below)
+
+Layout with ``n_shards > 1``::
+
+    <root>/
+      manifest.json          # top-level: {sharded, n_shards, next_seq, ...}
+      shards/
+        s000/                # one full LakeShard layout per shard
+          manifest.json
+          index.npz
+          tables/...
+        s001/...
 
 Each table archive holds the packed :class:`~repro.sketch.pipeline.TableSketch`
 arrays (uint64 signatures, float64 raw numeric stats) plus the final
@@ -16,20 +33,25 @@ everything float64/uint64 in npz, so a save/load round-trip is bit-exact and
 warm queries are bit-identical to a cold in-memory build.
 
 The manifest records the config fingerprint
-(:func:`repro.lake.serialization.config_fingerprint`); opening a store with a
-different expected fingerprint raises :class:`FingerprintMismatchError`
-instead of silently serving stale vectors. Table entries are an ordered
-*list* (not a name-keyed dict) so insertion order — and therefore index row
-order and tie-breaking — survives persistence. Each entry also records its
-``disk_bytes`` at write time, so :meth:`LakeStore.stats` sums the manifest
-instead of stat-ing every archive per call.
+(:func:`repro.lake.serialization.config_fingerprint`, which folds the shard
+count in for ``n_shards > 1``); opening a store with a different expected
+fingerprint raises :class:`FingerprintMismatchError` instead of silently
+serving stale vectors. Shard entries are ordered *lists*; for a sharded
+lake, every entry additionally records a global insertion sequence number
+(``seq``, allocated from the top-level manifest), so :meth:`LakeStore.load_all`
+and :meth:`LakeStore.table_names` reproduce the exact global insertion order
+a flat store would — order, and therefore tie-breaking, is layout-invariant.
 
-``save_index`` persists the *built* vector index (any
-:class:`repro.search.backend.VectorIndex` via its ``state_arrays``) beside
-the manifest, keyed by its :class:`~repro.search.backend.IndexSpec`, so a
-warm open of an N-table lake deserializes the index instead of performing N
-re-insertions; incremental catalog mutations re-save it rather than
-invalidating it.
+Shards flush **independently** (atomic write-then-rename for both manifests
+and index archives), so a crash mid-ingest loses at most the unflushed tail
+of the shard being written; a shard whose manifest is torn beyond repair
+degrades to an empty shard with a warning at open time while every other
+shard stays warm.
+
+``save_index`` persists the *built* vector index beside each shard's
+manifest. For a sharded lake the index must be a
+:class:`repro.search.backend.ShardedIndex`; only the shards it reports dirty
+are rewritten, so an incremental delta costs one shard's artifact, not N.
 """
 
 from __future__ import annotations
@@ -37,6 +59,7 @@ from __future__ import annotations
 import os
 import warnings
 import zipfile
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator
@@ -52,8 +75,11 @@ from repro.lake.serialization import (
 from repro.search.backend import (
     INDEX_STATE_VERSION,
     IndexSpec,
+    ShardedIndex,
     VectorIndex,
+    make_index,
     restore_index,
+    stable_shard,
 )
 from repro.search.tables import ColumnEntry
 from repro.sketch.pipeline import TableSketch
@@ -62,6 +88,27 @@ from repro.utils.io import ensure_dir, read_json, write_json
 MANIFEST_NAME = "manifest.json"
 TABLES_DIR = "tables"
 INDEX_NAME = "index.npz"
+SHARDS_DIR = "shards"
+
+#: Environment knob: default shard count for *newly created* stores (and
+#: store-less catalogs). Lets the whole lake test tier run under both the
+#: flat and the sharded layout without touching a single test body.
+ENV_SHARDS = "REPRO_LAKE_SHARDS"
+
+#: Sort key for sharded entries that predate seq stamping (defensive; the
+#: sharded writer always stamps one) — they sort after every stamped entry.
+_NO_SEQ = 1 << 62
+
+
+def default_n_shards() -> int:
+    """Shard count for new stores: ``$REPRO_LAKE_SHARDS`` or 1 (flat)."""
+    raw = os.environ.get(ENV_SHARDS, "").strip()
+    if not raw:
+        return 1
+    value = int(raw)
+    if value < 1:
+        raise ValueError(f"{ENV_SHARDS} must be >= 1, got {value}")
+    return value
 
 
 @dataclass
@@ -87,8 +134,14 @@ class LakeTableRecord:
         return list(zip(self.column_names, self.column_vectors))
 
 
-class LakeStore:
-    """Persist/load per-table lake artifacts under a fingerprint guard."""
+class LakeShard:
+    """One self-contained shard: manifest + table archives + index.npz.
+
+    This is the complete single-directory store; a flat (unsharded) lake is
+    exactly one ``LakeShard`` rooted at the lake directory. All methods are
+    local to the shard — cross-shard routing, global ordering, and parallel
+    writes live in :class:`LakeStore`.
+    """
 
     def __init__(self, root: str | os.PathLike, fingerprint: str):
         self.root = ensure_dir(root)
@@ -123,8 +176,8 @@ class LakeStore:
     @classmethod
     def open(
         cls, root: str | os.PathLike, expected_fingerprint: str | None = None
-    ) -> "LakeStore":
-        """Open an existing store, validating its fingerprint if given."""
+    ) -> "LakeShard":
+        """Open an existing shard, validating its fingerprint if given."""
         manifest_path = Path(root) / MANIFEST_NAME
         if not manifest_path.exists():
             raise FileNotFoundError(f"no lake manifest at {manifest_path}")
@@ -134,13 +187,22 @@ class LakeStore:
         return cls(root, found)
 
     def _flush(self) -> None:
-        write_json(self.root / MANIFEST_NAME, self._manifest)
+        # Write-then-rename: a crash mid-flush must leave the previous
+        # manifest intact, never a torn JSON file.
+        path = self.root / MANIFEST_NAME
+        temporary = path.with_name("manifest.tmp.json")
+        write_json(temporary, self._manifest)
+        os.replace(temporary, path)
 
     def _entry(self, name: str) -> dict | None:
         return self._by_name.get(name)
 
+    def entries(self) -> list[dict]:
+        """The ordered manifest entries (read-only use)."""
+        return list(self._manifest["tables"])
+
     # ------------------------------------------------------------------ #
-    def _write_table(self, record: LakeTableRecord) -> None:
+    def _write_table(self, record: LakeTableRecord, seq: int | None = None) -> None:
         """Write the npz *first*, then mutate the manifest — a failed array
         write must not leave a half-built entry for a later flush."""
         existing = self._entry(record.name)
@@ -164,10 +226,15 @@ class LakeStore:
             "metadata": record.metadata,
         }
         if existing is None:
+            if seq is not None:
+                fields["seq"] = int(seq)
             self._manifest["next_id"] += 1
             self._manifest["tables"].append(fields)
             self._by_name[record.name] = fields
         else:
+            # A replace keeps its manifest slot *and* its global seq — same
+            # semantics as the flat layout, where a replaced entry keeps its
+            # position in the ordered list.
             existing.update(fields)
         self._bump_mutation_counter()
 
@@ -176,15 +243,19 @@ class LakeStore:
         self._manifest["mutation_counter"] = value
         return value
 
-    def save_table(self, record: LakeTableRecord) -> None:
+    def save_table(self, record: LakeTableRecord, seq: int | None = None) -> None:
         """Write one table's artifacts; replaces any same-named entry."""
-        self._write_table(record)
+        self._write_table(record, seq=seq)
         self._flush()
 
-    def save_tables(self, records: list[LakeTableRecord]) -> None:
+    def save_tables(
+        self, records: list[LakeTableRecord], seqs: list[int | None] | None = None
+    ) -> None:
         """Bulk save with a single manifest flush (ingest-scale writes)."""
-        for record in records:
-            self._write_table(record)
+        if seqs is None:
+            seqs = [None] * len(records)
+        for record, seq in zip(records, seqs):
+            self._write_table(record, seq=seq)
         if records:
             self._flush()
 
@@ -285,25 +356,12 @@ class LakeStore:
             self._flush()
 
     def index_spec(self) -> IndexSpec | None:
-        """The backend spec this lake's index was built with, if recorded.
+        """The backend spec this shard's index was built with, if recorded.
 
         Survives :meth:`drop_index` — a lake that lost its index artifact
         still knows which backend to rebuild under.
         """
         raw = self._manifest.get("index_spec")
-        if raw is None:
-            return None
-        return IndexSpec.from_dict(raw)
-
-    @classmethod
-    def peek_index_spec(cls, root: str | os.PathLike) -> IndexSpec | None:
-        """Read a lake's index-backend spec without opening the store
-        (no fingerprint needed) — how the CLI decides which backend a
-        warm lake was built with."""
-        manifest_path = Path(root) / MANIFEST_NAME
-        if not manifest_path.exists():
-            return None
-        raw = read_json(manifest_path).get("index_spec")
         if raw is None:
             return None
         return IndexSpec.from_dict(raw)
@@ -397,4 +455,365 @@ class LakeStore:
             if (spec := self.index_spec()) is not None
             else None,
             "index_disk_bytes": index_bytes,
+        }
+
+
+class LakeStore:
+    """Hash-partitioned persistence facade over N :class:`LakeShard` s.
+
+    ``n_shards == 1`` is the flat layout (one shard rooted at the lake
+    directory — byte-compatible with pre-sharding stores); ``n_shards > 1``
+    routes each table to ``shards/sNNN/`` by a stable hash of its name.
+    ``n_shards=None`` resolves to ``$REPRO_LAKE_SHARDS`` (else 1) for new
+    stores and to the on-disk layout for existing ones — an explicit count
+    that disagrees with an existing layout is refused (use
+    ``python -m repro.lake reshard`` to migrate).
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        fingerprint: str,
+        n_shards: int | None = None,
+    ):
+        self.root = ensure_dir(root)
+        self.fingerprint = fingerprint
+        manifest_path = self.root / MANIFEST_NAME
+        on_disk: int | None = None
+        if manifest_path.exists():
+            head = read_json(manifest_path)
+            on_disk = int(head.get("n_shards", 1)) if head.get("sharded") else 1
+        if on_disk is not None:
+            if n_shards is not None and n_shards != on_disk:
+                raise ValueError(
+                    f"lake at {self.root} has {on_disk} shard(s) but "
+                    f"{n_shards} were requested; run `python -m repro.lake "
+                    "reshard` to change the layout"
+                )
+            n_shards = on_disk
+        elif n_shards is None:
+            n_shards = default_n_shards()
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = n_shards
+        if n_shards == 1:
+            self._top: dict | None = None
+            self.shards = [LakeShard(self.root, fingerprint)]
+        else:
+            self._init_sharded(existing=on_disk is not None)
+
+    def _init_sharded(self, existing: bool) -> None:
+        if existing:
+            top = read_json(self.root / MANIFEST_NAME)
+            found = top.get("fingerprint", "")
+            if found != self.fingerprint:
+                raise FingerprintMismatchError(self.fingerprint, found)
+            self._top = top
+        else:
+            self._top = {
+                "format_version": FORMAT_VERSION,
+                "sharded": True,
+                "fingerprint": self.fingerprint,
+                "n_shards": self.n_shards,
+                # Global insertion sequence: stamped on every new entry so
+                # cross-shard order survives persistence.
+                "next_seq": 1,
+            }
+            self._flush_top()
+        self.shards = []
+        for k in range(self.n_shards):
+            shard_root = self.root / SHARDS_DIR / f"s{k:03d}"
+            try:
+                self.shards.append(LakeShard(shard_root, self.fingerprint))
+            except FingerprintMismatchError:
+                raise
+            except (ValueError, KeyError, OSError) as exc:
+                # A torn shard manifest (crash mid-crash-window, disk
+                # corruption) degrades *that shard* to empty — the lake
+                # stays serveable and the other N-1 shards stay warm.
+                warnings.warn(
+                    f"lake shard {k} at {shard_root} is unreadable "
+                    f"({exc!r}); resetting it to empty — its tables must "
+                    "be re-ingested",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self.shards.append(self._reset_shard_dir(shard_root))
+
+    def _reset_shard_dir(self, shard_root: Path) -> LakeShard:
+        for name in (MANIFEST_NAME, "manifest.tmp.json", INDEX_NAME, "index.tmp.npz"):
+            path = shard_root / name
+            if path.exists():
+                path.unlink()
+        tables_dir = shard_root / TABLES_DIR
+        if tables_dir.exists():
+            for stale in tables_dir.glob("*.npz"):
+                stale.unlink()
+        return LakeShard(shard_root, self.fingerprint)
+
+    def _flush_top(self) -> None:
+        path = self.root / MANIFEST_NAME
+        temporary = path.with_name("manifest.tmp.json")
+        write_json(temporary, self._top)
+        os.replace(temporary, path)
+
+    @property
+    def _manifest(self) -> dict:
+        """Flat-layout manifest view (single-shard stores only)."""
+        if self.n_shards == 1:
+            return self.shards[0]._manifest
+        raise AttributeError(
+            "a sharded LakeStore has one manifest per shard; use .shards"
+        )
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def open(
+        cls, root: str | os.PathLike, expected_fingerprint: str | None = None
+    ) -> "LakeStore":
+        """Open an existing store (either layout), validating its
+        fingerprint if given."""
+        manifest_path = Path(root) / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise FileNotFoundError(f"no lake manifest at {manifest_path}")
+        found = read_json(manifest_path).get("fingerprint", "")
+        if expected_fingerprint is not None and found != expected_fingerprint:
+            raise FingerprintMismatchError(expected_fingerprint, found)
+        return cls(root, found)
+
+    @classmethod
+    def peek_n_shards(cls, root: str | os.PathLike) -> int | None:
+        """Read a lake's shard count without opening it (``None`` when no
+        store exists yet) — how the CLI folds the layout into the
+        fingerprint before opening."""
+        manifest_path = Path(root) / MANIFEST_NAME
+        if not manifest_path.exists():
+            return None
+        head = read_json(manifest_path)
+        return int(head.get("n_shards", 1)) if head.get("sharded") else 1
+
+    @classmethod
+    def peek_index_spec(cls, root: str | os.PathLike) -> IndexSpec | None:
+        """Read a lake's index-backend spec without opening the store
+        (no fingerprint needed) — how the CLI decides which backend a
+        warm lake was built with. Works for both layouts: the spec lives
+        in the root manifest either way."""
+        manifest_path = Path(root) / MANIFEST_NAME
+        if not manifest_path.exists():
+            return None
+        raw = read_json(manifest_path).get("index_spec")
+        if raw is None:
+            return None
+        return IndexSpec.from_dict(raw)
+
+    # ------------------------------------------------------------------ #
+    def shard_id(self, name: str) -> int:
+        if self.n_shards == 1:
+            return 0
+        return stable_shard(name, self.n_shards)
+
+    def _shard_for(self, name: str) -> LakeShard:
+        return self.shards[self.shard_id(name)]
+
+    def _alloc_seqs(self, count: int) -> list[int]:
+        start = int(self._top.get("next_seq", 1))
+        self._top["next_seq"] = start + count
+        self._flush_top()
+        return list(range(start, start + count))
+
+    # ------------------------------------------------------------------ #
+    def save_table(self, record: LakeTableRecord) -> None:
+        """Write one table's artifacts; replaces any same-named entry."""
+        if self.n_shards == 1:
+            self.shards[0].save_table(record)
+            return
+        shard = self._shard_for(record.name)
+        seq = None if record.name in shard else self._alloc_seqs(1)[0]
+        shard.save_table(record, seq=seq)
+
+    def save_tables(
+        self, records: list[LakeTableRecord], workers: int | None = None
+    ) -> None:
+        """Bulk save; one manifest flush per touched shard.
+
+        With ``workers``, shards write in parallel threads — each thread
+        owns one shard's files, so there is no shared mutable state, and a
+        crash mid-write still loses at most each shard's unflushed tail.
+        """
+        if self.n_shards == 1:
+            self.shards[0].save_tables(records)
+            return
+        fresh = [
+            record.name
+            for record in records
+            if record.name not in self._shard_for(record.name)
+        ]
+        seq_by_name = dict(zip(fresh, self._alloc_seqs(len(fresh))))
+        groups: dict[int, tuple[list[LakeTableRecord], list[int | None]]] = {}
+        for record in records:
+            shard_records, shard_seqs = groups.setdefault(
+                self.shard_id(record.name), ([], [])
+            )
+            shard_records.append(record)
+            shard_seqs.append(seq_by_name.get(record.name))
+
+        def write(shard_id: int) -> None:
+            shard_records, shard_seqs = groups[shard_id]
+            self.shards[shard_id].save_tables(shard_records, seqs=shard_seqs)
+
+        if workers and workers > 1 and len(groups) > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                list(pool.map(write, groups))
+        else:
+            for shard_id in groups:
+                write(shard_id)
+
+    def load_table(self, name: str) -> LakeTableRecord:
+        return self._shard_for(name).load_table(name)
+
+    def _ordered_entries(self) -> list[tuple[LakeShard, dict]]:
+        """Every entry across all shards, in global insertion order."""
+        if self.n_shards == 1:
+            shard = self.shards[0]
+            return [(shard, entry) for entry in shard.entries()]
+        indexed = [
+            (int(entry.get("seq", _NO_SEQ)), shard_id, position, shard, entry)
+            for shard_id, shard in enumerate(self.shards)
+            for position, entry in enumerate(shard.entries())
+        ]
+        indexed.sort(key=lambda item: item[:3])
+        return [(shard, entry) for *_, shard, entry in indexed]
+
+    def load_all(self) -> Iterator[LakeTableRecord]:
+        """Records in global insertion order — identical between layouts,
+        so warm loads are deterministic and layout-invariant."""
+        for shard, entry in self._ordered_entries():
+            yield shard._load_entry(entry)
+
+    def remove_table(self, name: str) -> bool:
+        return self._shard_for(name).remove_table(name)
+
+    # ------------------------------------------------------------------ #
+    # Persisted vector index
+    # ------------------------------------------------------------------ #
+    def save_index(
+        self,
+        index: VectorIndex,
+        spec: IndexSpec,
+        workers: int | None = None,
+    ) -> None:
+        """Persist the built index beside the data it serves.
+
+        Flat stores write one ``index.npz``; sharded stores require a
+        :class:`~repro.search.backend.ShardedIndex` and rewrite only the
+        shards it reports dirty — an incremental delta costs one shard's
+        artifact, not N.
+        """
+        if self.n_shards == 1:
+            self.shards[0].save_index(index, spec)
+            return
+        if not isinstance(index, ShardedIndex) or index.n_shards != self.n_shards:
+            raise ValueError(
+                f"a {self.n_shards}-shard store persists a ShardedIndex with "
+                f"matching shard count, got {type(index).__name__}"
+            )
+        self.record_index_spec(spec)
+        dirty = sorted(index.dirty_shards())
+
+        def save(shard_id: int) -> None:
+            self.shards[shard_id].save_index(index.subs[shard_id], spec)
+
+        if workers and workers > 1 and len(dirty) > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                list(pool.map(save, dirty))
+        else:
+            for shard_id in dirty:
+                save(shard_id)
+        index.mark_clean()
+
+    def record_index_spec(self, spec: IndexSpec, flush: bool = True) -> None:
+        if self.n_shards == 1:
+            self.shards[0].record_index_spec(spec, flush=flush)
+            return
+        raw = spec.to_dict()
+        if self._top.get("index_spec") == raw:
+            return  # every save_index re-records; don't rewrite the top
+            # manifest when the spec hasn't actually changed
+        self._top["index_spec"] = raw
+        if flush:
+            self._flush_top()
+
+    def index_spec(self) -> IndexSpec | None:
+        if self.n_shards == 1:
+            return self.shards[0].index_spec()
+        raw = self._top.get("index_spec")
+        if raw is None:
+            return None
+        return IndexSpec.from_dict(raw)
+
+    def load_index(self, dim: int) -> "VectorIndex | None":
+        """Restore the persisted index.
+
+        Flat stores return the backend index or ``None`` (rebuild
+        fallback). Sharded stores *always* return a
+        :class:`~repro.search.backend.ShardedIndex`: shards whose artifact
+        restored cleanly are listed in its ``restored_shards``; the rest
+        come back as fresh empty sub-indexes for the caller to rebuild from
+        records — per shard, so one torn artifact never forces a full
+        rebuild.
+        """
+        if self.n_shards == 1:
+            return self.shards[0].load_index(dim)
+        spec = self.index_spec() or IndexSpec()
+        subs: list[VectorIndex] = []
+        restored: set[int] = set()
+        for shard_id, shard in enumerate(self.shards):
+            sub = shard.load_index(dim)
+            if sub is not None:
+                restored.add(shard_id)
+            else:
+                sub = make_index(spec, dim)
+            subs.append(sub)
+        n_shards = self.n_shards
+        return ShardedIndex(
+            dim,
+            subs=subs,
+            router=lambda entry: stable_shard(entry.table, n_shards),
+            factory=lambda: make_index(spec, dim),
+            restored_shards=restored,
+        )
+
+    def drop_index(self) -> bool:
+        dropped = [shard.drop_index() for shard in self.shards]
+        return any(dropped)
+
+    # ------------------------------------------------------------------ #
+    def table_names(self) -> list[str]:
+        return [entry["name"] for _, entry in self._ordered_entries()]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._shard_for(name)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def stats(self) -> dict:
+        if self.n_shards == 1:
+            stats = self.shards[0].stats()
+            stats["n_shards"] = 1
+            return stats
+        shard_stats = [shard.stats() for shard in self.shards]
+        spec = self.index_spec()
+        return {
+            "root": str(self.root),
+            "fingerprint": self.fingerprint,
+            "format_version": self._top.get("format_version"),
+            "n_shards": self.n_shards,
+            "n_tables": sum(s["n_tables"] for s in shard_stats),
+            "n_columns": sum(s["n_columns"] for s in shard_stats),
+            "n_rows": sum(s["n_rows"] for s in shard_stats),
+            "disk_bytes": sum(s["disk_bytes"] for s in shard_stats),
+            "index_backend": spec.canonical() if spec is not None else None,
+            "index_disk_bytes": sum(s["index_disk_bytes"] for s in shard_stats),
+            "shard_tables": [s["n_tables"] for s in shard_stats],
         }

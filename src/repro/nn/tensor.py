@@ -14,23 +14,37 @@ from __future__ import annotations
 
 import contextlib
 import math
+import threading
 from typing import Callable, Sequence
 
 import numpy as np
 
-_grad_enabled = True
+
+class _GradMode(threading.local):
+    """Per-thread grad flag: concurrent inference threads (the lake's
+    parallel ingest pipeline) must not re-enable graph construction under
+    each other's feet the way a shared global would."""
+
+    enabled = True
+
+
+_grad_mode = _GradMode()
+
+
+def is_grad_enabled() -> bool:
+    """Whether ops record the autodiff graph in the *current* thread."""
+    return _grad_mode.enabled
 
 
 @contextlib.contextmanager
 def no_grad():
     """Disable graph construction inside the block (inference mode)."""
-    global _grad_enabled
-    previous = _grad_enabled
-    _grad_enabled = False
+    previous = _grad_mode.enabled
+    _grad_mode.enabled = False
     try:
         yield
     finally:
-        _grad_enabled = previous
+        _grad_mode.enabled = previous
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -337,7 +351,7 @@ def _as_tensor(value) -> Tensor:
 def _node(data: np.ndarray, parents: tuple[Tensor, ...]) -> Tensor:
     """Create an op output; tracks parents only when the graph is active."""
     out = Tensor(data)
-    if _grad_enabled and any(p.requires_grad or p._parents for p in parents):
+    if _grad_mode.enabled and any(p.requires_grad or p._parents for p in parents):
         out._parents = parents
         out.requires_grad = any(p.requires_grad for p in parents)
     return out

@@ -4,12 +4,15 @@ algorithm, and retrieval metrics (mean F1 / P@k / R@k, F1-vs-k curves)."""
 
 from repro.search.backend import (
     IndexSpec,
+    ShardedIndex,
     VectorIndex,
     available_backends,
     make_index,
+    make_sharded_index,
     normalize_index_spec,
     register_backend,
     restore_index,
+    stable_shard,
     validate_index_spec,
 )
 from repro.search.hnsw import HnswIndex
@@ -24,12 +27,15 @@ from repro.search.metrics import (
 
 __all__ = [
     "IndexSpec",
+    "ShardedIndex",
     "VectorIndex",
     "available_backends",
     "make_index",
+    "make_sharded_index",
     "normalize_index_spec",
     "register_backend",
     "restore_index",
+    "stable_shard",
     "validate_index_spec",
     "HnswIndex",
     "KnnIndex",

@@ -28,7 +28,11 @@ Registered backends:
 
 from __future__ import annotations
 
+import hashlib
+import heapq
+from collections import defaultdict
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Callable, Iterable, Protocol, Sequence, runtime_checkable
 
 import numpy as np
@@ -292,3 +296,184 @@ def _register_builtins() -> None:
 
 
 _register_builtins()
+
+
+# --------------------------------------------------------------------- #
+# Sharded (multi-index) merge path
+# --------------------------------------------------------------------- #
+def stable_shard(text: str, n_shards: int) -> int:
+    """Deterministic, process- and platform-stable shard of a string key.
+
+    Python's builtin ``hash`` is salted per process, so it can never route
+    a persisted table to the same shard twice; a SHA-256 prefix can.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % n_shards
+
+
+class ShardedIndex:
+    """N backend indexes behind one :class:`VectorIndex` face.
+
+    Every key is owned by exactly one sub-index (``router(key)`` — the lake
+    routes by table name, so a table's columns always land together), which
+    makes add/remove a single routed delegation. ``query_many`` fans the
+    whole query matrix across the sub-indexes and k-way merges each row's
+    sorted hit lists: because every sub-index returns *its* top-k, the
+    merged top-k holds the same (key, distance) *set* a single flat index
+    over the union would return — rankings are shard-count-invariant
+    whenever the distances at the cut are distinct. Exact ties are ordered
+    deterministically (stable merge: shard order, then the sub-index's own
+    order) but not necessarily as a flat index's argpartition would break
+    them; identical vectors *within* one table co-locate by construction,
+    so the routine duplicate case (a table's over-budget fallback columns)
+    can never straddle shards.
+
+    Persistence is deliberately *not* monolithic: callers save each
+    sub-index beside its shard's data (``subs``), and :meth:`dirty_shards`
+    names the sub-indexes mutated since the last :meth:`mark_clean`, so an
+    incremental delta rewrites one shard's artifact, not all of them.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        subs: Sequence[VectorIndex],
+        router: Callable[[object], int],
+        factory: Callable[[], VectorIndex] | None = None,
+        restored_shards: Iterable[int] = (),
+    ):
+        if not subs:
+            raise ValueError("ShardedIndex needs at least one sub-index")
+        self.dim = dim
+        self.subs: list[VectorIndex] = list(subs)
+        self.router = router
+        self.factory = factory
+        self.metric = self.subs[0].metric
+        #: Shards restored from persistence (set by the store's loader);
+        #: everything else is fresh and needs a rebuild from records.
+        self.restored_shards = set(restored_shards)
+        self._dirty: set[int] = set()
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.subs)
+
+    def shard_of(self, key) -> int:
+        shard = self.router(key)
+        if not 0 <= shard < len(self.subs):
+            raise ValueError(
+                f"router sent {key!r} to shard {shard} of {len(self.subs)}"
+            )
+        return shard
+
+    def reset_shard(self, shard: int) -> None:
+        """Replace one sub-index with a fresh empty one (rebuild seam)."""
+        if self.factory is None:
+            raise ValueError("ShardedIndex has no factory to reset shards with")
+        self.subs[shard] = self.factory()
+        self.restored_shards.discard(shard)
+
+    # -- mutation ------------------------------------------------------- #
+    def add(self, key, vector: np.ndarray) -> None:
+        shard = self.shard_of(key)
+        self.subs[shard].add(key, vector)
+        self._dirty.add(shard)
+
+    def add_many(self, items: Sequence[tuple[object, np.ndarray]]) -> None:
+        groups: dict[int, list] = defaultdict(list)
+        for key, vector in items:
+            groups[self.shard_of(key)].append((key, vector))
+        for shard, group in groups.items():
+            self.subs[shard].add_many(group)
+            self._dirty.add(shard)
+
+    def remove_many(self, keys: Iterable[object]) -> int:
+        groups: dict[int, list] = defaultdict(list)
+        for key in keys:
+            groups[self.shard_of(key)].append(key)
+        removed = 0
+        for shard, group in groups.items():
+            count = self.subs[shard].remove_many(group)
+            if count:
+                self._dirty.add(shard)
+            removed += count
+        return removed
+
+    # -- queries -------------------------------------------------------- #
+    def query_many(
+        self, matrix: np.ndarray, k: int
+    ) -> list[list[tuple[object, float]]]:
+        """Fan one query matrix across every sub-index, k-way merge rows.
+
+        Each populated sub-index answers the whole matrix in one batched
+        call; per query row the sorted per-shard hit lists merge in one
+        ``heapq.merge`` pass (stable: distance ties keep shard order).
+        """
+        queries = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+        n_queries = queries.shape[0]
+        if k <= 0 or n_queries == 0:
+            return [[] for _ in range(n_queries)]
+        per_sub = [sub.query_many(queries, k) for sub in self.subs if len(sub)]
+        if not per_sub:
+            return [[] for _ in range(n_queries)]
+        if len(per_sub) == 1:
+            return per_sub[0]
+        return [
+            list(islice(heapq.merge(*rows, key=lambda hit: hit[1]), k))
+            for rows in zip(*per_sub)
+        ]
+
+    def query(self, vector: np.ndarray, k: int) -> list[tuple[object, float]]:
+        return self.query_many(np.asarray(vector, dtype=np.float64)[None, :], k)[0]
+
+    # -- membership / state --------------------------------------------- #
+    def keys(self) -> list:
+        return [key for sub in self.subs for key in sub.keys()]
+
+    def __contains__(self, key) -> bool:
+        return key in self.subs[self.shard_of(key)]
+
+    def __len__(self) -> int:
+        return sum(len(sub) for sub in self.subs)
+
+    def dirty_shards(self) -> set[int]:
+        """Sub-indexes mutated since the last :meth:`mark_clean`."""
+        return set(self._dirty)
+
+    def mark_dirty(self, shard: int) -> None:
+        """Force one shard into the next save (e.g. a rebuilt-but-empty
+        shard whose stale on-disk artifact needs healing)."""
+        self._dirty.add(shard)
+
+    def mark_clean(self) -> None:
+        self._dirty.clear()
+
+    def state_keys(self) -> list:
+        raise NotImplementedError(
+            "a ShardedIndex persists per shard — save each sub-index via "
+            "subs[k].state_keys()/state_arrays()"
+        )
+
+    def state_arrays(self) -> tuple[dict[str, np.ndarray], dict]:
+        raise NotImplementedError(
+            "a ShardedIndex persists per shard — save each sub-index via "
+            "subs[k].state_keys()/state_arrays()"
+        )
+
+
+def make_sharded_index(
+    spec: IndexSpec | str | None,
+    dim: int,
+    n_shards: int,
+    router: Callable[[object], int],
+) -> ShardedIndex:
+    """N fresh backend indexes for ``spec`` behind one sharded face."""
+    spec = validate_index_spec(spec)
+    return ShardedIndex(
+        dim,
+        subs=[make_index(spec, dim) for _ in range(n_shards)],
+        router=router,
+        factory=lambda: make_index(spec, dim),
+    )

@@ -29,7 +29,9 @@ from repro.search.backend import (
     IndexSpec,
     VectorIndex,
     make_index,
+    make_sharded_index,
     normalize_index_spec,
+    stable_shard,
 )
 
 
@@ -50,10 +52,23 @@ class TableSearcher:
         metric: str = "cosine",
         candidate_factor: int = 3,
         backend: IndexSpec | str | None = None,
+        n_shards: int = 1,
     ):
         self.dim = dim
         self.backend_spec = normalize_index_spec(backend, metric=metric)
-        self.index: VectorIndex = make_index(self.backend_spec, dim)
+        self.n_shards = n_shards
+        if n_shards > 1:
+            # Hash-partitioned column index: a table's columns co-locate
+            # (routed by table name), queries fan + merge across shards
+            # with shard-count-invariant rankings.
+            self.index: VectorIndex = make_sharded_index(
+                self.backend_spec,
+                dim,
+                n_shards,
+                router=lambda entry: stable_shard(entry.table, n_shards),
+            )
+        else:
+            self.index = make_index(self.backend_spec, dim)
         self.candidate_factor = candidate_factor
         self._columns_by_table: dict[str, list[ColumnEntry]] = defaultdict(list)
         #: Rows inserted through this searcher — a warm restore via

@@ -186,3 +186,19 @@ def test_sketch_corpus_parallel_matches_sequential(
             assert np.array_equal(
                 col_a.values_minhash.signature, col_b.values_minhash.signature
             )
+
+
+def test_embed_corpus_parallel_workers_bitwise_identical(
+    tiny_model, tiny_encoder, ragged_sketches
+):
+    """Fanning batch forwards across threads must change nothing: same
+    embeddings to the bit, same deterministic forward count (the counter
+    is lock-guarded against racing increments)."""
+    engine = EmbeddingEngine(tiny_model, tiny_encoder)
+    sequential = engine.embed_corpus(ragged_sketches, batch_size=2)
+    calls_before = engine.forward_calls
+    parallel = engine.embed_corpus(ragged_sketches, batch_size=2, workers=4)
+    assert engine.forward_calls - calls_before == -(-len(ragged_sketches) // 2)
+    for a, b in zip(parallel, sequential):
+        assert np.array_equal(a.table, b.table)
+        assert np.array_equal(a.columns, b.columns)

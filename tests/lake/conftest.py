@@ -1,5 +1,13 @@
 """Shared fixtures for the `repro.lake` subsystem tests: a small grouped
-corpus plus a frozen embedding stack."""
+corpus plus a frozen embedding stack.
+
+The whole directory is layout-parametrized externally: ``$REPRO_LAKE_SHARDS``
+(consumed by :func:`repro.lake.store.default_n_shards`, surfaced here as the
+``lake_layout_shards`` fixture) sets the shard count every store and catalog
+these tests create defaults to. CI runs the directory twice — flat
+(``REPRO_LAKE_SHARDS`` unset) and 4-sharded — so every lake test exercises
+both layouts without a single test body changing.
+"""
 
 from __future__ import annotations
 
@@ -7,7 +15,14 @@ import pytest
 
 from repro.core.embed import TableEmbedder
 from repro.lake.catalog import LakeCatalog
+from repro.lake.store import default_n_shards
 from repro.table.schema import Table, table_from_rows
+
+
+@pytest.fixture(scope="session")
+def lake_layout_shards() -> int:
+    """The shard count this test run's lakes default to (env knob)."""
+    return default_n_shards()
 
 
 @pytest.fixture(scope="module")

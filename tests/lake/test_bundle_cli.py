@@ -97,6 +97,93 @@ def test_cli_errors_on_missing_lake(tmp_path):
         cli.main(["stats", "--lake", str(tmp_path / "void")])
 
 
+def test_cli_ingest_query_reshard_roundtrip(tmp_path, csv_dir, capsys, lake_tables):
+    """End-to-end ingest → query → reshard → query → remove → re-ingest:
+    exit codes are clean, rankings survive resharding byte-for-byte, and
+    incremental ops keep working on the migrated layout."""
+    lake = str(tmp_path / "lake")
+    cli.main([
+        "ingest", "--lake", lake, "--csv-dir", str(csv_dir),
+        "--num-perm", "16", "--dim", "32", "--vocab-size", "400",
+        "--ingest-workers", "2",
+    ])
+    out = capsys.readouterr().out
+    assert f"ingested {len(lake_tables)} tables" in out
+
+    def ranking(table: str) -> list[str]:
+        cli.main(["query", "--lake", lake, "--table", table, "--mode",
+                  "union", "-k", "4"])
+        return capsys.readouterr().out.splitlines()[1:]
+
+    before = {name: ranking(name) for name in ("g0t1", "g1t2", "g2t0")}
+
+    cli.main(["reshard", "--lake", lake, "--shards", "3", "--workers", "2"])
+    out = capsys.readouterr().out
+    assert "-> 3 shard(s)" in out and "no re-embedding" in out
+
+    after = {name: ranking(name) for name in before}
+    assert after == before, "rankings must survive resharding"
+
+    cli.main(["stats", "--lake", lake])
+    out = capsys.readouterr().out
+    assert '"n_shards": 3' in out
+
+    # Resharding to the current count is a visible no-op, not an error.
+    cli.main(["reshard", "--lake", lake, "--shards", "3"])
+    assert "nothing to do" in capsys.readouterr().out
+
+    # Incremental remove + re-ingest work on the migrated layout.
+    cli.main(["remove", "--lake", lake, "--table", "g0t0"])
+    assert f"{len(lake_tables) - 1} tables remain" in capsys.readouterr().out
+    cli.main(["ingest", "--lake", lake, "--csv-dir", str(csv_dir)])
+    out = capsys.readouterr().out
+    assert "ingested 1 tables" in out and "3 shard(s)" in out
+    assert {name: ranking(name) for name in before} == before
+
+    # A conflicting --shards on a warm lake fails fast with guidance.
+    with pytest.raises(SystemExit, match="reshard"):
+        cli.main([
+            "ingest", "--lake", lake, "--csv-dir", str(csv_dir),
+            "--shards", "8",
+        ])
+    # ... and so does resharding a lake that was never ingested.
+    with pytest.raises(SystemExit, match="not an ingested lake"):
+        cli.main(["reshard", "--lake", str(tmp_path / "void"), "--shards", "2"])
+
+
+def test_cli_recovers_reshard_killed_mid_swap(tmp_path, csv_dir, capsys):
+    """A reshard killed inside the swap window (old store parked in
+    .reshard.old, nothing moved in yet) must roll back to the complete old
+    layout on the next command instead of dying on a missing manifest."""
+    import shutil
+
+    lake = tmp_path / "lake"
+    cli.main([
+        "ingest", "--lake", str(lake), "--csv-dir", str(csv_dir),
+        "--num-perm", "16", "--dim", "32", "--vocab-size", "400",
+    ])
+    capsys.readouterr()
+    cli.main(["query", "--lake", str(lake), "--table", "g1t1", "-k", "3"])
+    before = capsys.readouterr().out.splitlines()[1:]
+
+    # Simulate the kill: store files moved out to the backup, swap never
+    # finished, a stale stage dir left behind.
+    backup = lake / ".reshard.old"
+    backup.mkdir()
+    for name in ("manifest.json", "index.npz", "tables", "shards"):
+        source = lake / name
+        if source.exists():
+            shutil.move(str(source), str(backup / name))
+    (lake / ".reshard.tmp").mkdir()
+
+    cli.main(["stats", "--lake", str(lake)])
+    out = capsys.readouterr().out
+    assert "recovering interrupted reshard" in out
+    assert not backup.exists() and not (lake / ".reshard.tmp").exists()
+    cli.main(["query", "--lake", str(lake), "--table", "g1t1", "-k", "3"])
+    assert capsys.readouterr().out.splitlines()[1:] == before
+
+
 def test_cli_hnsw_backend_roundtrip(tmp_path, csv_dir, capsys, lake_tables):
     """The whole CLI runs unmodified on the HNSW backend, warm loads reuse
     the persisted graph, and a backend switch trips the fingerprint

@@ -9,7 +9,7 @@ from repro.lake.catalog import LakeCatalog
 from repro.lake.serialization import FingerprintMismatchError, config_fingerprint
 from repro.lake.service import LakeService
 from repro.lake.store import LakeStore
-from repro.search.backend import IndexSpec
+from repro.search.backend import IndexSpec, ShardedIndex
 from repro.search.hnsw import HnswIndex
 from repro.search.index import KnnIndex
 
@@ -23,12 +23,22 @@ def _build(lake_embedder, lake_tables, tmp_path, backend=None):
     return catalog
 
 
+def _assert_backend_class(catalog, cls):
+    """The live index is `cls` — directly (flat) or per shard (sharded)."""
+    index = catalog.searcher.index
+    if catalog.n_shards == 1:
+        assert isinstance(index, cls)
+    else:
+        assert isinstance(index, ShardedIndex)
+        assert all(isinstance(sub, cls) for sub in index.subs)
+
+
 # --------------------------------------------------------------------- #
 # Backend parity through the catalog/service
 # --------------------------------------------------------------------- #
 def test_catalog_runs_unmodified_on_hnsw(lake_embedder, lake_tables, tmp_path):
     catalog = _build(lake_embedder, lake_tables, tmp_path, backend=HNSW_SPEC)
-    assert isinstance(catalog.searcher.index, HnswIndex)
+    _assert_backend_class(catalog, HnswIndex)
     service = LakeService(catalog)
     for mode in ("join", "union", "subset"):
         results = service.query("g1t1", mode=mode, k=3)
@@ -174,8 +184,16 @@ def test_interrupted_first_ingest_records_backend(lake_embedder, tmp_path):
 def test_persisted_index_state_version_guard(lake_embedder, lake_tables, tmp_path):
     _build(lake_embedder, lake_tables, tmp_path)
     store = LakeStore.open(tmp_path)
-    store._manifest["index"]["state_version"] = -1
-    assert store.load_index(lake_embedder.dim) is None
+    for shard in store.shards:
+        # Shards that never held a table have no index artifact to poison.
+        if "index" in shard._manifest:
+            shard._manifest["index"]["state_version"] = -1
+    index = store.load_index(lake_embedder.dim)
+    if store.n_shards == 1:
+        assert index is None
+    else:
+        # Sharded loads degrade per shard: nothing restored, fresh subs.
+        assert index.restored_shards == set() and len(index) == 0
 
 
 # --------------------------------------------------------------------- #
@@ -218,11 +236,11 @@ def test_from_store_rejects_conflicting_backend(lake_embedder, lake_tables, tmp_
     warm = LakeCatalog.from_store(
         lake_embedder, LakeStore.open(tmp_path), index_backend=HNSW_SPEC
     )
-    assert isinstance(warm.searcher.index, HnswIndex)
+    _assert_backend_class(warm, HnswIndex)
 
 
 def test_default_backend_is_exact(lake_embedder):
     catalog = LakeCatalog(lake_embedder)
     assert catalog.index_spec == IndexSpec("exact", {})
-    assert isinstance(catalog.searcher.index, KnnIndex)
+    _assert_backend_class(catalog, KnnIndex)
     assert catalog.stats()["index_backend"] == "exact"

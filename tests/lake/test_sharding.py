@@ -1,0 +1,176 @@
+"""Sharded/flat parity property tests.
+
+The whole point of the sharded layout is that it is *invisible* to query
+semantics: for randomized lakes, a store partitioned into N ∈ {1, 2, 7}
+shards must return byte-identical query rankings, ``stats()``, and
+``table_names()`` to the flat store — across both the ``exact`` and
+``hnsw`` backends, cold-built or after a close → warm ``open`` round trip.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lake.catalog import LakeCatalog
+from repro.lake.service import LakeService
+from repro.lake.store import LakeStore
+from repro.search.backend import ShardedIndex, stable_shard
+from repro.table.schema import Table, table_from_rows
+
+MODES = ("join", "union", "subset")
+SHARD_COUNTS = (1, 2, 7)
+#: ef_search far above the corpus size, so the approximate backend is
+#: effectively exhaustive at this scale and parity is exact, not
+#: probabilistic (the parametrized runs are fully deterministic either way).
+HNSW_SPEC = "hnsw:m=8,ef_construction=96,ef_search=160"
+
+
+def _random_tables(seed: int, n: int = 12) -> dict[str, Table]:
+    """A randomized lake: varying widths, lengths, and mixed content."""
+    rng = np.random.default_rng(seed)
+    vocab = [f"tok{i:02d}" for i in range(40)]
+    tables: dict[str, Table] = {}
+    for t in range(n):
+        n_cols = int(rng.integers(2, 5))
+        n_rows = int(rng.integers(8, 24))
+        header = [f"col{c}" for c in range(n_cols)]
+        rows = [
+            [
+                vocab[int(rng.integers(0, len(vocab)))]
+                if c % 2 == 0
+                else str(round(float(rng.normal(t, 3.0)), 2))
+                for c in range(n_cols)
+            ]
+            for _ in range(n_rows)
+        ]
+        name = f"rand{seed}t{t:02d}"
+        tables[name] = table_from_rows(
+            name, header, rows, description=f"random lake {seed} table {t}"
+        )
+    return tables
+
+
+def _rankings(service: LakeService, names, probe: Table, k: int = 5) -> dict:
+    """Every mode over every member plus an external probe table."""
+    out = {
+        mode: {name: service.query(name, mode=mode, k=k) for name in names}
+        for mode in MODES
+    }
+    out["external"] = {
+        mode: service.query(probe, mode=mode, k=k) for mode in MODES
+    }
+    return out
+
+
+def _comparable_stats(catalog: LakeCatalog) -> dict:
+    """Catalog stats minus the one field that *names* the layout."""
+    stats = catalog.stats()
+    stats.pop("n_shards")
+    return stats
+
+
+@pytest.mark.parametrize("backend", [None, HNSW_SPEC], ids=["exact", "hnsw"])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_sharded_store_matches_flat_store(tmp_path, lake_embedder, backend, seed):
+    tables = _random_tables(seed)
+    names = list(tables)
+    source = tables[names[0]]
+    probe = source.with_columns(source.columns, name="external-probe")
+
+    flat_store = LakeStore(tmp_path / "flat", "fp", n_shards=1)
+    flat = LakeCatalog(lake_embedder, store=flat_store, index_backend=backend)
+    flat.add_tables(tables)
+    flat_stats = _comparable_stats(flat)
+    flat_rankings = _rankings(LakeService(flat), names, probe)
+
+    for n_shards in SHARD_COUNTS:
+        root = tmp_path / f"sharded{n_shards}"
+        store = LakeStore(root, "fp", n_shards=n_shards)
+        catalog = LakeCatalog(lake_embedder, store=store, index_backend=backend)
+        catalog.add_tables(tables, ingest_workers=2)
+
+        assert catalog.table_names() == flat.table_names()
+        assert store.table_names() == flat_store.table_names()
+        assert _comparable_stats(catalog) == flat_stats
+        assert _rankings(LakeService(catalog), names, probe) == flat_rankings
+
+        # Close → warm open: the persisted per-shard indexes are adopted
+        # (zero insertions, zero trunk forwards) and answers stay identical.
+        warm = LakeCatalog.from_store(
+            lake_embedder, LakeStore.open(root), index_backend=backend
+        )
+        assert warm.embed_calls == 0
+        assert warm.searcher.insertions == 0
+        assert warm.table_names() == flat.table_names()
+        assert _comparable_stats(warm) == {
+            **flat_stats,
+            "embed_calls": 0,
+            "index_insertions": 0,
+        }
+        assert _rankings(LakeService(warm), names, probe) == flat_rankings
+
+
+def test_parity_survives_incremental_mutations(tmp_path, lake_embedder):
+    """Add/remove/update deltas leave flat and sharded lakes identical."""
+    tables = _random_tables(seed=2, n=10)
+    names = list(tables)
+    flat = LakeCatalog(
+        lake_embedder, store=LakeStore(tmp_path / "flat", "fp", n_shards=1)
+    )
+    sharded = LakeCatalog(
+        lake_embedder, store=LakeStore(tmp_path / "sharded", "fp", n_shards=4)
+    )
+    for catalog in (flat, sharded):
+        catalog.add_tables(tables)
+        catalog.remove_table(names[3])
+        catalog.update_table(tables[names[5]])
+        late = tables[names[3]]
+        catalog.add_table(late.with_columns(late.columns, name="late-arrival"))
+
+    assert flat.table_names() == sharded.table_names()
+    kept = flat.table_names()
+    probe = tables[names[1]].with_columns(tables[names[1]].columns, name="probe")
+    assert _rankings(LakeService(flat), kept, probe) == _rankings(
+        LakeService(sharded), kept, probe
+    )
+
+    # ... and the mutated sharded lake warm-opens to the same answers.
+    warm = LakeCatalog.from_store(lake_embedder, LakeStore.open(tmp_path / "sharded"))
+    assert warm.searcher.insertions == 0
+    assert warm.table_names() == kept
+    assert _rankings(LakeService(warm), kept, probe) == _rankings(
+        LakeService(flat), kept, probe
+    )
+
+
+def test_env_knob_sets_default_layout(tmp_path, lake_embedder, lake_layout_shards):
+    """The `$REPRO_LAKE_SHARDS` knob (the lever CI uses to run this whole
+    directory under both layouts) is what unstated stores and catalogs
+    actually default to."""
+    store = LakeStore(tmp_path, "fp")
+    assert store.n_shards == lake_layout_shards
+    catalog = LakeCatalog(lake_embedder)
+    assert catalog.n_shards == lake_layout_shards
+    assert catalog.stats()["n_shards"] == lake_layout_shards
+
+
+def test_sharded_catalog_routes_tables_to_owning_shard(tmp_path, lake_embedder):
+    """Structural invariant behind the parity: every table's columns live
+    in exactly the shard its name hashes to, in store and index alike."""
+    tables = _random_tables(seed=3, n=8)
+    store = LakeStore(tmp_path, "fp", n_shards=4)
+    catalog = LakeCatalog(lake_embedder, store=store)
+    catalog.add_tables(tables)
+    index = catalog.searcher.index
+    assert isinstance(index, ShardedIndex)
+    for name, record in catalog.records.items():
+        owner = stable_shard(name, 4)
+        assert name in store.shards[owner]
+        assert all(
+            name not in shard
+            for k, shard in enumerate(store.shards)
+            if k != owner
+        )
+        sub_tables = {entry.table for entry in index.subs[owner].keys()}
+        assert name in sub_tables

@@ -1,14 +1,30 @@
 """On-disk `LakeStore` persistence: exact round-trips, replacement, removal,
-manifest-order determinism, manifest-recorded sizes, and the persisted
-vector index."""
+manifest-order determinism, manifest-recorded sizes, the persisted vector
+index, and per-shard crash/corruption degradation.
+
+Most tests run under whatever layout ``$REPRO_LAKE_SHARDS`` selects (CI runs
+this directory flat *and* 4-sharded); tests that exercise the single-shard
+persistence layer directly pin ``n_shards=1``.
+"""
 
 import numpy as np
 import pytest
 
+from repro.lake.catalog import LakeCatalog
 from repro.lake.store import LakeStore, LakeTableRecord
 from repro.search.backend import IndexSpec, make_index
 from repro.search.tables import ColumnEntry
 from repro.sketch.pipeline import sketch_table
+
+
+def _all_entries(store: LakeStore) -> list[dict]:
+    """Every manifest entry across shards (layout-agnostic)."""
+    return [entry for shard in store.shards for entry in shard.entries()]
+
+
+def _table_archives(root) -> list:
+    """Every table npz under either layout."""
+    return sorted(root.rglob("tables/*.npz"))
 
 
 def _record(table, config, seed=0):
@@ -54,7 +70,7 @@ def test_save_replaces_existing_entry(tmp_path, city_table, tiny_sketch_config):
 def test_remove_table_deletes_artifact(tmp_path, city_table, tiny_sketch_config):
     store = LakeStore(tmp_path, "fp")
     store.save_table(_record(city_table, tiny_sketch_config))
-    npz_files = list((tmp_path / "tables").glob("*.npz"))
+    npz_files = _table_archives(tmp_path)
     assert len(npz_files) == 1
     assert store.remove_table("cities")
     assert not store.remove_table("cities")
@@ -99,16 +115,18 @@ def test_stats_sums_manifest_recorded_sizes(
     tmp_path, city_table, product_table, tiny_sketch_config, monkeypatch
 ):
     """`disk_bytes` is recorded per entry at write time; stats() must sum
-    the manifest, not stat every archive on disk."""
+    the manifests, not stat every archive on disk."""
     store = LakeStore(tmp_path, "fp")
     store.save_table(_record(city_table, tiny_sketch_config))
     store.save_table(_record(product_table, tiny_sketch_config))
     expected = sum(
-        (tmp_path / entry["file"]).stat().st_size
-        for entry in store._manifest["tables"]
+        (shard.root / entry["file"]).stat().st_size
+        for shard in store.shards
+        for entry in shard.entries()
     )
-    for entry in store._manifest["tables"]:
-        assert entry["disk_bytes"] == (tmp_path / entry["file"]).stat().st_size
+    for shard in store.shards:
+        for entry in shard.entries():
+            assert entry["disk_bytes"] == (shard.root / entry["file"]).stat().st_size
 
     import pathlib
 
@@ -136,7 +154,9 @@ def _column_index(spec="exact", n=12, dim=8, seed=0):
 
 @pytest.mark.parametrize("spec", ["exact", "hnsw:m=6,ef_search=32"])
 def test_save_load_index_round_trip(tmp_path, spec):
-    store = LakeStore(tmp_path, "fp")
+    # Pinned flat: exercises the single-shard persistence layer directly
+    # (the sharded equivalent lives in the sharding tests below).
+    store = LakeStore(tmp_path, "fp", n_shards=1)
     assert store.load_index(8) is None and store.index_spec() is None
     index = _column_index(spec)
     store.save_index(index, IndexSpec.parse(spec))
@@ -156,7 +176,7 @@ def test_save_load_index_round_trip(tmp_path, spec):
 
 
 def test_save_empty_index_round_trip(tmp_path):
-    store = LakeStore(tmp_path, "fp")
+    store = LakeStore(tmp_path, "fp", n_shards=1)
     store.save_index(make_index("exact", 8), IndexSpec("exact", {}))
     restored = LakeStore.open(tmp_path).load_index(8)
     assert restored is not None and len(restored) == 0
@@ -165,7 +185,7 @@ def test_save_empty_index_round_trip(tmp_path):
 def test_corrupt_index_archive_degrades_to_rebuild(tmp_path):
     """A truncated/torn index.npz (crash mid-write on an old layout) must
     make load_index return None — the rebuild fallback — not raise."""
-    store = LakeStore(tmp_path, "fp")
+    store = LakeStore(tmp_path, "fp", n_shards=1)
     store.save_index(_column_index(), IndexSpec("exact", {}))
     (tmp_path / "index.npz").write_bytes(b"not a zip archive")
     with pytest.warns(RuntimeWarning, match="could not be restored"):
@@ -173,7 +193,7 @@ def test_corrupt_index_archive_degrades_to_rebuild(tmp_path):
 
 
 def test_drop_index_keeps_spec(tmp_path):
-    store = LakeStore(tmp_path, "fp")
+    store = LakeStore(tmp_path, "fp", n_shards=1)
     assert not store.drop_index()
     spec = IndexSpec.parse("hnsw:m=6")
     store.save_index(_column_index("hnsw:m=6"), spec)
@@ -217,3 +237,113 @@ def test_save_tables_batch_single_flush(
     assert store.table_names() == ["cities", "products", "mixed"]
     reopened = LakeStore.open(tmp_path)
     assert reopened.table_names() == ["cities", "products", "mixed"]
+
+
+# --------------------------------------------------------------------- #
+# Sharded layout: routing, global order, crash/corruption degradation
+# --------------------------------------------------------------------- #
+def _many_records(config, n=12, prefix="tab"):
+    from repro.table.schema import table_from_rows
+
+    records = []
+    for i in range(n):
+        table = table_from_rows(
+            f"{prefix}{i:03d}",
+            ["alpha", "beta"],
+            [[f"v{i}r{r}", str(i * r)] for r in range(6)],
+            description=f"synthetic {i}",
+        )
+        records.append(_record(table, config, seed=i))
+    return records
+
+
+def test_sharded_store_routes_and_preserves_global_order(
+    tmp_path, tiny_sketch_config
+):
+    records = _many_records(tiny_sketch_config)
+    store = LakeStore(tmp_path, "fp", n_shards=4)
+    store.save_tables(records, workers=3)
+    names = [record.name for record in records]
+    # Every shard holds a subset; together they hold everything, and the
+    # cross-shard order is the global insertion order, not shard-major.
+    assert store.table_names() == names
+    assert sum(len(shard) for shard in store.shards) == len(records)
+    assert sum(1 for shard in store.shards if len(shard)) > 1
+    reopened = LakeStore.open(tmp_path, expected_fingerprint="fp")
+    assert reopened.n_shards == 4
+    assert reopened.table_names() == names
+    assert [record.name for record in reopened.load_all()] == names
+    # Interleaved incremental adds keep extending the global order.
+    extra = _many_records(tiny_sketch_config, n=3, prefix="late")
+    for record in extra:
+        reopened.save_table(record)
+    assert reopened.table_names() == names + [r.name for r in extra]
+
+
+def test_sharded_store_refuses_conflicting_shard_count(tmp_path, tiny_sketch_config):
+    store = LakeStore(tmp_path, "fp", n_shards=3)
+    store.save_tables(_many_records(tiny_sketch_config, n=4))
+    with pytest.raises(ValueError, match="reshard"):
+        LakeStore(tmp_path, "fp", n_shards=5)
+    # Unstated count follows the on-disk layout, whatever the env default.
+    assert LakeStore(tmp_path, "fp").n_shards == 3
+    assert LakeStore.peek_n_shards(tmp_path) == 3
+
+
+def test_torn_shard_manifest_degrades_one_shard_only(tmp_path, tiny_sketch_config):
+    """Truncating one shard's manifest mid-byte must cost exactly that
+    shard: open() warns, resets it to empty, and keeps serving every other
+    shard's tables."""
+    records = _many_records(tiny_sketch_config)
+    store = LakeStore(tmp_path, "fp", n_shards=4)
+    store.save_tables(records)
+    victim = next(shard for shard in store.shards if len(shard) > 0)
+    victim_names = set(victim.table_names())
+    survivor_names = [
+        name for name in store.table_names() if name not in victim_names
+    ]
+    manifest = victim.root / "manifest.json"
+    torn = manifest.read_bytes()[: manifest.stat().st_size // 2]
+    manifest.write_bytes(torn)
+
+    with pytest.warns(RuntimeWarning, match="resetting it to empty"):
+        reopened = LakeStore.open(tmp_path, expected_fingerprint="fp")
+    assert reopened.table_names() == survivor_names
+    for name in survivor_names:  # survivors stay fully loadable
+        loaded = reopened.load_table(name)
+        assert loaded.column_vectors.shape[0] == loaded.sketch.n_cols
+    # The degraded shard is writable again: lost tables re-ingest cleanly.
+    for record in records:
+        if record.name in victim_names:
+            reopened.save_table(record)
+    assert set(reopened.table_names()) == {record.name for record in records}
+
+
+def test_torn_shard_index_rebuilds_that_shard_others_stay_warm(
+    tmp_path, lake_embedder, lake_tables
+):
+    """Truncating one shard's index.npz mid-byte must rebuild exactly that
+    shard's index on the next warm open (insertions == its columns), adopt
+    every other shard's persisted index untouched, and heal the artifact."""
+    store = LakeStore(tmp_path, "fp", n_shards=3)
+    catalog = LakeCatalog(lake_embedder, store=store)
+    catalog.add_tables(lake_tables)
+
+    victim = next(shard for shard in store.shards if len(shard) > 0)
+    victim_columns = sum(int(e["n_cols"]) for e in victim.entries())
+    index_path = victim.root / "index.npz"
+    index_path.write_bytes(index_path.read_bytes()[: index_path.stat().st_size // 2])
+
+    with pytest.warns(RuntimeWarning, match="could not be restored"):
+        warm = LakeCatalog.from_store(lake_embedder, LakeStore.open(tmp_path))
+    assert warm.embed_calls == 0, "an index rebuild must never re-embed"
+    assert warm.searcher.insertions == victim_columns
+    assert warm.table_names() == catalog.table_names()
+    for name in lake_tables:  # rankings identical to the undamaged build
+        vectors = catalog.query_vectors(name)
+        assert warm.searcher.search_tables(
+            vectors, 4, exclude_table=name
+        ) == catalog.searcher.search_tables(vectors, 4, exclude_table=name)
+
+    healed = LakeCatalog.from_store(lake_embedder, LakeStore.open(tmp_path))
+    assert healed.searcher.insertions == 0, "the rebuild must re-persist"

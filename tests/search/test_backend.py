@@ -1,17 +1,21 @@
 """The `VectorIndex` protocol layer: spec parsing, the backend registry,
 exact/HNSW parity (`query_many` ≡ `query`), HNSW recall floor, remove →
-re-add round trips, and state persistence round trips."""
+re-add round trips, state persistence round trips, and the sharded
+multi-index merge path."""
 
 import numpy as np
 import pytest
 
 from repro.search.backend import (
     IndexSpec,
+    ShardedIndex,
     VectorIndex,
     available_backends,
     make_index,
+    make_sharded_index,
     normalize_index_spec,
     restore_index,
+    stable_shard,
     validate_index_spec,
 )
 from repro.search.hnsw import HnswIndex
@@ -277,3 +281,71 @@ def test_restore_rejects_key_count_mismatch(spec, corpus):
         restore_index(
             IndexSpec.parse(spec), DIM, index.state_keys()[:-1], arrays, meta
         )
+
+
+# --------------------------------------------------------------------- #
+# Sharded multi-index merge path
+# --------------------------------------------------------------------- #
+def _build_sharded(n_shards: int, vectors: np.ndarray) -> ShardedIndex:
+    index = make_sharded_index(
+        "exact", DIM, n_shards, router=lambda key: key % n_shards
+    )
+    index.add_many([(i, vector) for i, vector in enumerate(vectors)])
+    return index
+
+
+@pytest.mark.parametrize("n_shards", [1, 2, 5])
+def test_sharded_merge_matches_flat_exact(n_shards, corpus):
+    """The k-way merged top-k over N shards is the flat index's top-k —
+    same keys, same distances, same order."""
+    vectors, queries = corpus
+    flat = _build("exact", vectors)
+    sharded = _build_sharded(n_shards, vectors)
+    assert len(sharded) == len(flat)
+    for flat_hits, merged_hits in zip(
+        flat.query_many(queries, 12), sharded.query_many(queries, 12)
+    ):
+        assert _keys(flat_hits) == _keys(merged_hits)
+        assert [d for _, d in flat_hits] == [d for _, d in merged_hits]
+    one = flat.query(queries[0], 7)
+    assert sharded.query(queries[0], 7) == one
+
+
+def test_sharded_routing_membership_and_removal(corpus):
+    vectors, queries = corpus
+    sharded = _build_sharded(4, vectors[:100])
+    # Keys live in exactly their routed shard.
+    assert 17 in sharded and 17 in sharded.subs[17 % 4]
+    assert all(17 not in sharded.subs[s] for s in range(4) if s != 17 % 4)
+    sharded.mark_clean()
+    assert sharded.remove_many([17, 21, 999]) == 2
+    assert 17 not in sharded and 21 not in sharded
+    # Only the touched shards are dirty — the incremental-save contract.
+    assert sharded.dirty_shards() == {17 % 4, 21 % 4}
+    for hits in sharded.query_many(queries, 50):
+        assert 17 not in _keys(hits) and 21 not in _keys(hits)
+
+
+def test_sharded_reset_shard_and_state_guard(corpus):
+    vectors, _ = corpus
+    sharded = _build_sharded(3, vectors[:30])
+    sharded.reset_shard(1)
+    assert len(sharded) == 30 - sum(1 for i in range(30) if i % 3 == 1)
+    assert all(key % 3 != 1 for key in sharded.keys())
+    # Monolithic state export is a contract violation, loudly.
+    with pytest.raises(NotImplementedError, match="per shard"):
+        sharded.state_arrays()
+    with pytest.raises(NotImplementedError, match="per shard"):
+        sharded.state_keys()
+
+
+def test_stable_shard_is_deterministic_and_spread():
+    names = [f"table{i:04d}" for i in range(200)]
+    first = [stable_shard(name, 8) for name in names]
+    assert first == [stable_shard(name, 8) for name in names]
+    assert all(0 <= shard < 8 for shard in first)
+    # Every shard of 8 gets a healthy share of 200 uniform-ish keys.
+    counts = [first.count(shard) for shard in range(8)]
+    assert min(counts) > 0
+    with pytest.raises(ValueError, match="n_shards"):
+        stable_shard("x", 0)
