@@ -1,0 +1,142 @@
+"""CI smoke for the Discovery API serving path — the whole loop, for real.
+
+Builds a tiny lake from generated CSVs via the CLI, starts
+``python -m repro.lake serve`` as a *subprocess* on an ephemeral port,
+queries it with :class:`~repro.lake.client.LakeClient`, asserts the hits
+are identical to the in-process answer for the same
+:class:`DiscoveryRequest` (all three modes), exercises remote ingest +
+remove + stats, and checks the server shuts down cleanly on SIGINT.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/server_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.lake.api import DiscoveryRequest  # noqa: E402
+from repro.lake.client import LakeClient  # noqa: E402
+from repro.lake.__main__ import _load_service, main as lake_cli  # noqa: E402
+from repro.table.csvio import write_csv  # noqa: E402
+from repro.table.schema import table_from_rows  # noqa: E402
+
+MODES = ("join", "union", "subset")
+STARTUP_TIMEOUT_S = 60.0
+
+
+def build_lake(root: Path) -> str:
+    csv_dir = root / "csvs"
+    for group in range(2):
+        for member in range(3):
+            name = f"g{group}t{member}"
+            rows = [
+                [f"grp{group}v{i}", str((group + 1) * i), f"tag{i % 3}"]
+                for i in range(18 + member)
+            ]
+            table = table_from_rows(
+                name, ["entity", "count", "tag"], rows,
+                description=f"group {group}",
+            )
+            write_csv(table, csv_dir / f"{name}.csv")
+    lake = str(root / "lake")
+    lake_cli([
+        "ingest", "--lake", lake, "--csv-dir", str(csv_dir),
+        "--num-perm", "16", "--dim", "32", "--vocab-size", "400",
+    ])
+    return lake
+
+
+def start_server(lake: str) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONUNBUFFERED"] = "1"
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.lake", "serve", "--lake", lake, "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=str(REPO),
+    )
+    deadline = time.monotonic() + STARTUP_TIMEOUT_S
+    banner = ""
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            if process.poll() is not None:
+                raise SystemExit(
+                    f"server exited early (rc={process.returncode}): {banner}"
+                )
+            continue
+        banner += line
+        if "listening on http://" in line:
+            port = int(line.split("listening on http://", 1)[1]
+                       .split("]")[0].split(" ")[0].rsplit(":", 1)[1])
+            return process, port
+    process.kill()
+    raise SystemExit(f"server never announced its port; output: {banner}")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="lake-smoke-") as tmp:
+        lake = build_lake(Path(tmp))
+        local = _load_service(lake)
+        process, port = start_server(lake)
+        try:
+            client = LakeClient(port=port, timeout=30.0)
+            assert client.healthz()["status"] == "ok"
+
+            checked = 0
+            for mode in MODES:
+                request = DiscoveryRequest(mode=mode, k=4, table="g1t1")
+                remote = client.query(request).scored()
+                in_process = local.discover(request).scored()
+                assert remote == in_process, (
+                    f"{mode}: HTTP {remote} != in-process {in_process}"
+                )
+                checked += 1
+
+            fresh = table_from_rows(
+                "smoked", ["entity", "count", "tag"],
+                [[f"grp0v{i}", str(i), "tag0"] for i in range(12)],
+            )
+            before = client.stats()["n_tables"]
+            assert client.add_table(fresh)["n_tables"] == before + 1
+            hits = client.query(
+                DiscoveryRequest(mode="union", k=3, table="smoked")
+            )
+            assert hits.tables(), "freshly ingested table must be queryable"
+            assert client.remove_table("smoked")["n_tables"] == before
+            stats = client.stats()
+            assert stats["api_version"] == "v1"
+            assert sum(stats["shard_tables"]) == stats["n_tables"]
+            client.close()
+        finally:
+            process.send_signal(signal.SIGINT)
+            try:
+                process.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                raise SystemExit("server did not shut down on SIGINT")
+        assert process.returncode == 0, (
+            f"server exited rc={process.returncode}"
+        )
+        print(
+            f"server smoke OK: {checked} mode parities, remote ingest/remove, "
+            "stats versioned, clean SIGINT shutdown"
+        )
+
+
+if __name__ == "__main__":
+    main()

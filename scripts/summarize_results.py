@@ -33,6 +33,7 @@ EXPERIMENT_ORDER = [
     "embed_engine",
     "index_backends",
     "sharded_lake",
+    "discovery_api",
 ]
 
 

@@ -14,28 +14,59 @@ is that serving substrate:
   can embed *query* tables identically to the one that built the lake;
 - :mod:`repro.lake.catalog` — :class:`LakeCatalog`, add/remove/update with
   incremental index maintenance (a 1-table delta re-embeds only that table);
+- :mod:`repro.lake.api` — the versioned Discovery API: typed
+  :class:`DiscoveryRequest` / :class:`DiscoveryResult` (scored
+  :class:`Hit` s with per-column evidence), the :class:`DiscoveryError`
+  taxonomy, and strict JSON codecs shared by every surface;
 - :mod:`repro.lake.service` — :class:`LakeService`, the thread-safe query
-  facade (join/union/subset, batching, LRU query-embedding cache);
-- ``python -m repro.lake`` — the ingest/query/stats CLI.
+  facade (join/union/subset, batching, LRU query-embedding cache),
+  answering the same schema in-process;
+- :mod:`repro.lake.server` — :class:`LakeServer` / :class:`ServerThread`,
+  the stdlib asyncio HTTP/1.1 front-end (``POST /v1/query``, batch,
+  ingest, stats, healthz);
+- :mod:`repro.lake.client` — :class:`LakeClient`, the ``http.client`` SDK
+  that round-trips the same dataclasses over the wire;
+- ``python -m repro.lake`` — the ingest/query/serve/stats CLI.
 """
 
+from repro.lake.api import (
+    API_VERSION,
+    ColumnMatch,
+    DiscoveryError,
+    DiscoveryRequest,
+    DiscoveryResult,
+    Hit,
+    Timings,
+)
 from repro.lake.catalog import LakeCatalog
+from repro.lake.client import LakeClient
 from repro.lake.serialization import (
     FingerprintMismatchError,
     config_fingerprint,
     pack_table_sketch,
     unpack_table_sketch,
 )
+from repro.lake.server import LakeServer, ServerThread
 from repro.lake.service import LakeService
 from repro.lake.store import LakeShard, LakeStore, LakeTableRecord, default_n_shards
 
 __all__ = [
+    "API_VERSION",
+    "ColumnMatch",
+    "DiscoveryError",
+    "DiscoveryRequest",
+    "DiscoveryResult",
     "FingerprintMismatchError",
+    "Hit",
     "LakeCatalog",
+    "LakeClient",
+    "LakeServer",
     "LakeService",
     "LakeShard",
     "LakeStore",
     "LakeTableRecord",
+    "ServerThread",
+    "Timings",
     "config_fingerprint",
     "default_n_shards",
     "pack_table_sketch",

@@ -4,9 +4,18 @@ Commands::
 
     ingest  --lake LAKE --csv-dir DIR   # build or incrementally extend a lake
     query   --lake LAKE (--table NAME | --csv FILE) [--mode union|join|subset]
+    serve   --lake LAKE [--port P]      # asyncio HTTP front-end (/v1/query...)
     remove  --lake LAKE --table NAME    # drop one table (incremental)
     reshard --lake LAKE --shards N      # migrate to an N-shard layout
     stats   --lake LAKE                 # catalog + store statistics
+
+``query`` is a thin serializer of the versioned Discovery API
+(:mod:`repro.lake.api`): it builds one :class:`DiscoveryRequest`, asks
+either the local lake or — with ``--server HOST:PORT`` — a running
+``serve`` instance through :class:`~repro.lake.client.LakeClient`, and
+prints the scored hits (``--json`` emits the full
+:class:`DiscoveryResult` envelope — the same schema the HTTP body
+carries, pretty-printed with sorted keys).
 
 ``--index-backend`` picks the vector-index backend for a *new* lake
 (``exact`` or ``hnsw``, optionally with hyperparameters, e.g.
@@ -40,8 +49,11 @@ from repro.core.config import TabSketchFMConfig
 from repro.core.embed import TableEmbedder
 from repro.core.inputs import InputEncoder
 from repro.core.model import TabSketchFM
+from repro.lake.api import DiscoveryError, DiscoveryRequest
 from repro.lake.bundle import has_bundle, load_bundle, save_bundle
 from repro.lake.catalog import LakeCatalog
+from repro.lake.client import LakeClient
+from repro.lake.server import LakeServer
 from repro.lake.serialization import FingerprintMismatchError, config_fingerprint
 from repro.lake.service import LakeService
 from repro.lake.store import (
@@ -173,22 +185,91 @@ def cmd_ingest(args: argparse.Namespace) -> None:
 
 
 def cmd_query(args: argparse.Namespace) -> None:
+    if args.lake is None and args.server is None:
+        sys.exit("error: query needs --lake (local) or --server HOST:PORT")
+    if args.lake is not None and args.server is not None:
+        sys.exit("error: --lake and --server are mutually exclusive")
     if args.index_backend is not None:
         validate_index_spec(args.index_backend)
-    service = _load_service(args.lake, index_backend=args.index_backend)
     if args.csv:
-        query = read_csv(args.csv)
+        request = DiscoveryRequest(
+            mode=args.mode, k=args.k, payload=read_csv(args.csv),
+            column=args.column, min_score=args.min_score,
+        )
     else:
-        query = args.table
+        request = DiscoveryRequest(
+            mode=args.mode, k=args.k, table=args.table,
+            column=args.column, min_score=args.min_score,
+        )
     started = time.perf_counter()
-    results = service.query(query, mode=args.mode, k=args.k, column=args.column)
+    if args.server is not None:
+        host, _, port = args.server.rpartition(":")
+        if not host or not port.isdigit():
+            sys.exit(f"error: --server wants HOST:PORT, got {args.server!r}")
+        try:
+            with LakeClient(host=host, port=int(port)) as client:
+                if args.index_backend is not None:
+                    # The remote twin of the local fingerprint guard: assert
+                    # the serving lake's backend before trusting its answers.
+                    serving = client.stats().get("index_backend")
+                    wanted = normalize_index_spec(args.index_backend).canonical()
+                    if serving != wanted:
+                        sys.exit(
+                            f"error: server lake uses index backend "
+                            f"{serving!r}, not the asserted {wanted!r}"
+                        )
+                result = client.query(request)
+        except OSError as exc:
+            sys.exit(f"error: cannot reach server {args.server}: {exc}")
+    else:
+        service = _load_service(args.lake, index_backend=args.index_backend)
+        result = service.discover(request)
     elapsed = 1000.0 * (time.perf_counter() - started)
-    name = query if isinstance(query, str) else query.name
-    print(f"{args.mode} results for {name!r} (k={args.k}, {elapsed:.1f}ms):")
-    for rank, table in enumerate(results, start=1):
-        print(f"  {rank:2d}. {table}")
-    if not results:
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return
+    print(f"{args.mode} results for {result.query!r} (k={args.k}, {elapsed:.1f}ms):")
+    for rank, hit in enumerate(result.hits, start=1):
+        evidence = ""
+        if args.mode == "join" and hit.matches:
+            best = min(hit.matches, key=lambda m: m.distance)
+            evidence = f"  [{best.query_column} -> {best.table_column}]"
+        else:
+            evidence = (
+                f"  [{hit.n_matched_columns} cols, "
+                f"sum_d={hit.distance_sum:.4f}]"
+            )
+        print(f"  {rank:2d}. {hit.table}  score={hit.score:.4f}{evidence}")
+    if not result.hits:
         print("  (no matches)")
+
+
+def cmd_serve(args: argparse.Namespace) -> None:
+    import asyncio
+
+    service = _load_service(args.lake, index_backend=args.index_backend)
+    stats = service.stats()
+
+    async def run() -> None:
+        server = LakeServer(
+            service, host=args.host, port=args.port, max_workers=args.workers
+        )
+        await server.start()
+        print(
+            f"lake server listening on http://{args.host}:{server.port} "
+            f"[{stats['n_tables']} tables, {stats['index_backend']} backend, "
+            f"{stats['n_shards']} shard(s), api {stats['api_version']}]",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("lake server shutting down")
 
 
 def cmd_remove(args: argparse.Namespace) -> None:
@@ -375,7 +456,12 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.set_defaults(func=cmd_ingest)
 
     query = sub.add_parser("query", help="answer one discovery query")
-    query.add_argument("--lake", required=True)
+    query.add_argument("--lake", default=None, help="lake directory (local query)")
+    query.add_argument(
+        "--server", default=None, metavar="HOST:PORT",
+        help="query a running `serve` instance over HTTP instead of "
+             "opening the lake locally — same request, same ranked hits",
+    )
     group = query.add_mutually_exclusive_group(required=True)
     group.add_argument("--table", help="name of a table already in the lake")
     group.add_argument("--csv", help="path to an external query CSV")
@@ -383,11 +469,45 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("-k", type=int, default=10)
     query.add_argument("--column", help="query column for join mode")
     query.add_argument(
+        "--min-score", type=float, default=None,
+        help="drop hits scoring below this bar (scores are monotone with "
+             "the ranking; join: 1/(1+d), union/subset: n_matched + "
+             "1/(1+sum_d))",
+    )
+    query.add_argument(
+        "--json", action="store_true",
+        help="print the full DiscoveryResult JSON envelope (the schema "
+             "the HTTP response body carries, pretty-printed) instead of "
+             "the human-readable ranking",
+    )
+    query.add_argument(
         "--index-backend", default=None, metavar="SPEC",
         help="assert the lake's index backend (default: use whatever the "
              "lake was built with); a mismatch fails the fingerprint guard",
     )
     query.set_defaults(func=cmd_query)
+
+    serve = sub.add_parser(
+        "serve",
+        help="expose the lake over HTTP: POST /v1/query, /v1/query_batch, "
+             "/v1/tables, DELETE /v1/tables/{name}, GET /v1/stats, "
+             "/v1/healthz (asyncio, blocking work in a thread pool)",
+    )
+    serve.add_argument("--lake", required=True)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="listen port (0 = ephemeral; the bound port is printed)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="thread-pool size for blocking catalog work",
+    )
+    serve.add_argument(
+        "--index-backend", default=None, metavar="SPEC",
+        help="assert the lake's index backend before serving",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     remove = sub.add_parser("remove", help="drop one table from the lake")
     remove.add_argument("--lake", required=True)
@@ -419,6 +539,9 @@ def main(argv: list[str] | None = None) -> None:
     args = build_parser().parse_args(argv)
     try:
         args.func(args)
+    except DiscoveryError as exc:
+        # Typed API failures (local or relayed from a remote server).
+        sys.exit(f"error: {exc.code}: {exc.message}")
     except (KeyError, ValueError) as exc:
         # Expected user-facing failures (unknown table/column/mode) — print
         # the message, not a traceback.

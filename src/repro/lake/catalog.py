@@ -251,10 +251,28 @@ class LakeCatalog:
         One trunk forward (counted in ``embed_calls`` — the query path routes
         through here too, so cache effectiveness is observable).
         """
-        embeddings = self._embed_sketches([sketch])[0]
-        return finalize_column_vectors(
-            embeddings.columns, sketch, sbert=self.sbert, table=table
-        )
+        return self.column_vector_pairs_many([table], [sketch])[0]
+
+    def column_vector_pairs_many(
+        self, tables: "list[Table]", sketches: "list[TableSketch]"
+    ) -> list[list[tuple[str, np.ndarray]]]:
+        """Index-ready column vectors for many query tables at once.
+
+        One :meth:`EmbeddingEngine.embed_corpus` pass —
+        ``ceil(len(tables) / batch_size)`` trunk forwards for the whole
+        group instead of one forward per table. This is the primitive the
+        service's ``query_batch`` rides so a batch of uncached external
+        queries costs the same forwards a bulk ingest of them would.
+        """
+        if not tables:
+            return []
+        embeddings = self._embed_sketches(sketches)
+        return [
+            finalize_column_vectors(
+                embedding.columns, sketch, sbert=self.sbert, table=table
+            )
+            for table, sketch, embedding in zip(tables, sketches, embeddings)
+        ]
 
     def _register(self, record: LakeTableRecord, persist: bool = True) -> None:
         self.records[record.name] = record

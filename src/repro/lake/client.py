@@ -1,0 +1,192 @@
+"""`LakeClient` — the `http.client`-based SDK for a remote lake.
+
+Round-trips the exact dataclasses of :mod:`repro.lake.api`: a
+:class:`~repro.lake.api.DiscoveryRequest` goes out as JSON, the ranked
+:class:`~repro.lake.api.DiscoveryResult` comes back decoded — so swapping
+an in-process :class:`~repro.lake.service.LakeService` for a client
+pointed at :mod:`repro.lake.server` changes *nothing* about the hits a
+caller sees (the parity the server tests and ``bench_discovery_api``
+assert). Server-side failures arrive as the typed error envelope and
+re-raise as the same :class:`~repro.lake.api.DiscoveryError` the service
+would have raised locally.
+
+One keep-alive connection per client, guarded by a lock (HTTP/1.1
+pipelining is not attempted); a connection dropped by the server mid-idle
+is transparently re-dialed once. For concurrent load, use one client per
+thread — they are cheap.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+
+from repro.lake.api import (
+    API_VERSION,
+    DiscoveryError,
+    DiscoveryRequest,
+    DiscoveryResult,
+    bad_request,
+    table_to_dict,
+)
+from repro.table.schema import Table
+
+DEFAULT_TIMEOUT = 60.0
+
+
+class LakeClient:
+    """Typed HTTP access to a running :class:`~repro.lake.server.LakeServer`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        timeout: float = DEFAULT_TIMEOUT,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._conn: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------------ #
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+
+    def __enter__(self) -> "LakeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        with self._lock:
+            for attempt in (0, 1):
+                conn = self._connection()
+                sent = False
+                try:
+                    conn.request(method, path, body=body, headers=headers)
+                    sent = True
+                    response = conn.getresponse()
+                    raw = response.read()
+                    status = response.status
+                    break
+                except (
+                    http.client.HTTPException,
+                    ConnectionError,
+                    socket.timeout,
+                    OSError,
+                ):
+                    conn.close()
+                    self._conn = None
+                    # Re-dial once, but only when the retry cannot double-
+                    # apply: the request never went out (a stale keep-alive
+                    # connection failing at send time), or the route is
+                    # read-only (GETs and the side-effect-free query
+                    # POSTs). A mutation (/v1/tables ingest or DELETE)
+                    # that failed *after* sending may already have executed
+                    # server-side — retrying could ingest twice or turn a
+                    # successful remove into a spurious not-found — so it
+                    # surfaces instead.
+                    read_only = method == "GET" or path in (
+                        "/v1/query",
+                        "/v1/query_batch",
+                    )
+                    if attempt or not ((not sent) or read_only):
+                        raise
+        try:
+            decoded = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise DiscoveryError(
+                "internal", f"undecodable server response ({status}): {exc}"
+            ) from None
+        if status >= 400:
+            error = decoded.get("error") if isinstance(decoded, dict) else None
+            if isinstance(error, dict):
+                raise DiscoveryError.from_dict(error)
+            raise DiscoveryError("internal", f"HTTP {status}: {decoded!r}")
+        if not isinstance(decoded, dict):
+            raise DiscoveryError(
+                "internal", f"expected a JSON object response, got {decoded!r}"
+            )
+        return decoded
+
+    # ------------------------------------------------------------------ #
+    def query(self, request: DiscoveryRequest) -> DiscoveryResult:
+        """``POST /v1/query`` — one typed request, one typed ranked result."""
+        payload = request.validated().to_dict()
+        return DiscoveryResult.from_dict(self._request("POST", "/v1/query", payload))
+
+    def query_batch(
+        self, requests: "list[DiscoveryRequest]"
+    ) -> list[DiscoveryResult]:
+        """``POST /v1/query_batch`` — the batched-embedding path, remotely."""
+        payload = {"requests": [r.validated().to_dict() for r in requests]}
+        decoded = self._request("POST", "/v1/query_batch", payload)
+        results = decoded.get("results")
+        if not isinstance(results, list):
+            raise DiscoveryError(
+                "internal", "query_batch response missing 'results' list"
+            )
+        return [DiscoveryResult.from_dict(raw) for raw in results]
+
+    def search(
+        self,
+        query: "str | Table",
+        mode: str = "union",
+        k: int = 10,
+        column: str | None = None,
+    ) -> list[str]:
+        """Legacy-shaped convenience: bare ranked table names."""
+        if isinstance(query, Table):
+            request = DiscoveryRequest(mode=mode, k=k, payload=query, column=column)
+        else:
+            request = DiscoveryRequest(mode=mode, k=k, table=query, column=column)
+        return self.query(request).tables()
+
+    # ------------------------------------------------------------------ #
+    def add_tables(self, tables: "list[Table] | dict[str, Table]") -> dict:
+        """``POST /v1/tables`` — remote ingest through the same pipeline."""
+        ordered = list(tables.values()) if isinstance(tables, dict) else list(tables)
+        if not ordered:
+            raise bad_request("add_tables needs at least one table")
+        payload = {"tables": [table_to_dict(table) for table in ordered]}
+        return self._request("POST", "/v1/tables", payload)
+
+    def add_table(self, table: Table) -> dict:
+        return self.add_tables([table])
+
+    def remove_table(self, name: str) -> dict:
+        """``DELETE /v1/tables/{name}`` — raises not-found when absent."""
+        from urllib.parse import quote
+
+        return self._request("DELETE", f"/v1/tables/{quote(name, safe='')}")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/v1/healthz")
+
+    def is_alive(self) -> bool:
+        try:
+            return self.healthz().get("status") == "ok"
+        except (DiscoveryError, OSError):
+            return False
+
+
+__all__ = ["LakeClient", "API_VERSION", "DEFAULT_TIMEOUT"]

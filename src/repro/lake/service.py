@@ -6,28 +6,56 @@ Implements the paper's three discovery workloads against a standing lake:
 - ``union`` / ``subset`` — the Fig. 6 NEARTABLES/RANK1/RANK2 procedure over
   all of the query table's columns (§IV-C2/C3).
 
+Every question and answer travels through the versioned Discovery API
+(:mod:`repro.lake.api`): :meth:`LakeService.discover` takes a
+:class:`DiscoveryRequest` and returns a :class:`DiscoveryResult` — ranked
+:class:`~repro.lake.api.Hit` s carrying scores and per-column evidence, a
+sketch/embed/index timing breakdown, and cache/shard diagnostics. The
+pre-API ``query``/``query_batch`` signatures remain as thin shims (bare
+``list[str]`` out, legacy ``KeyError``/``ValueError`` on failure) so old
+call sites stay green; in-process and HTTP callers
+(:mod:`repro.lake.server` / :mod:`repro.lake.client`) are interchangeable
+because both speak exactly this schema.
+
 Query tables may be catalog members (their stored vectors are reused — zero
-trunk work) or external :class:`~repro.table.schema.Table` objects, whose
+trunk work) or external :class:`~repro.table.schema.Table` payloads, whose
 sketch+embeddings are computed once and kept in a content-addressed LRU
-cache, so repeated and batched queries pay the trunk cost once. A single
-re-entrant lock serializes catalog mutations against reads; queries hold it
-only around shared-state access, which is enough for correctness with the
-pure-numpy index.
+cache. ``discover_batch`` embeds *all* uncached external query tables of a
+batch in one batched :class:`~repro.core.engine.EmbeddingEngine` pass —
+``ceil(distinct / batch_size)`` trunk forwards, identical digests deduped —
+instead of one serial forward per query. A single re-entrant lock
+serializes catalog mutations against reads; queries hold it only around
+shared-state access, which is enough for correctness with the pure-numpy
+index.
 """
 
 from __future__ import annotations
 
 import hashlib
 import threading
+import time
 from collections import OrderedDict
+from typing import Sequence
 
-import numpy as np
-
+from repro.lake.api import (
+    API_VERSION,
+    QUERY_MODES,
+    ColumnMatch,
+    DiscoveryError,
+    DiscoveryRequest,
+    DiscoveryResult,
+    Hit,
+    Timings,
+    bad_request,
+    join_score,
+    table_score,
+)
+from repro.core.engine import sketch_corpus
 from repro.lake.catalog import LakeCatalog
+from repro.search.backend import stable_shard
+from repro.search.tables import TableMatch
 from repro.sketch.pipeline import sketch_table
 from repro.table.schema import Table
-
-QUERY_MODES = ("join", "union", "subset")
 
 
 def table_digest(table: Table) -> str:
@@ -70,6 +98,11 @@ class _LruCache:
         while len(self._data) > self.capacity:
             self._data.popitem(last=False)
 
+    def __contains__(self, key: str) -> bool:
+        """Non-counting membership probe (batch planning must not skew the
+        hit/miss statistics the observable ``stats()`` reports)."""
+        return key in self._data
+
     def __len__(self) -> int:
         return len(self._data)
 
@@ -84,95 +117,348 @@ class LakeService:
         self.query_count = 0
 
     # ------------------------------------------------------------------ #
-    def _resolve_vectors(
-        self, query: str | Table
-    ) -> tuple[list[tuple[str, np.ndarray]], str | None]:
-        """``(ordered (column, vector) pairs, exclude_table)`` for a query.
+    def fingerprint(self) -> str | None:
+        """The attached store's configuration fingerprint (None storeless).
 
-        Catalog members resolve to their stored vectors; external tables go
-        through the LRU-cached embedding path. An external table whose name
-        shadows a catalog member is still excluded from its own results
-        (leave-one-out, as in the paper's benchmarks).
+        Requests carrying ``fingerprint=`` are checked against this — the
+        remote caller's analogue of the store's open-time guard.
+        """
+        store = self.catalog.store
+        return store.fingerprint if store is not None else None
+
+    def _check_fingerprint(self, request: DiscoveryRequest) -> None:
+        if request.fingerprint is None:
+            return
+        actual = self.fingerprint()
+        if request.fingerprint != actual:
+            raise DiscoveryError(
+                "fingerprint-mismatch",
+                f"request pinned lake fingerprint {request.fingerprint!r} "
+                f"but this service serves {actual!r} — the lake was built "
+                "under a different configuration",
+            )
+
+    # ------------------------------------------------------------------ #
+    def _resolve(
+        self, request: DiscoveryRequest
+    ) -> tuple[list, str | None, dict]:
+        """``(ordered (column, vector) pairs, exclude_table, diagnostics)``.
+
+        Catalog members resolve to their stored vectors; external payloads
+        go through the LRU-cached embedding path. An external table whose
+        name shadows a catalog member is still excluded from its own
+        results (leave-one-out, as in the paper's benchmarks).
 
         The trunk runs *outside* the lock: only cache/catalog lookups are
         guarded, so concurrent external-table queries embed in parallel.
         (Two threads missing on the same digest may both embed it — the
         standard benign cache stampede; results are deterministic.)
         """
-        if isinstance(query, str):
+        if request.table is not None:
             with self._lock:
-                if query not in self.catalog:
-                    raise KeyError(f"query table {query!r} not in catalog")
-                record = self.catalog.records[query]
-                return record.vector_pairs(), query
+                if request.table not in self.catalog:
+                    raise DiscoveryError(
+                        "not-found",
+                        f"query table {request.table!r} not in catalog",
+                    )
+                record = self.catalog.records[request.table]
+                return (
+                    record.vector_pairs(),
+                    request.table,
+                    {"member": True, "cache_hit": None},
+                )
+        query = request.payload
         key = table_digest(query)
         with self._lock:
             pairs = self._cache.get(key)
+        diag: dict = {"member": False, "cache_hit": pairs is not None}
         if pairs is None:
+            started = time.perf_counter()
             table_sketch = sketch_table(
                 query, self.catalog.sketch_config, self.catalog._hasher
             )
+            sketched = time.perf_counter()
             pairs = self.catalog.column_vector_pairs(query, table_sketch)
+            diag["sketch_ms"] = 1000.0 * (sketched - started)
+            diag["embed_ms"] = 1000.0 * (time.perf_counter() - sketched)
             with self._lock:
                 self._cache.put(key, pairs)
         with self._lock:
             exclude = query.name if query.name in self.catalog else None
-        return pairs, exclude
+        return pairs, exclude, diag
 
     # ------------------------------------------------------------------ #
-    def query(
+    def _search(
+        self, request: DiscoveryRequest, pairs: list, exclude: str | None
+    ) -> list[TableMatch]:
+        """Run the mode's ranking under the lock; full (untruncated)
+        candidate ranking so post-filters never starve the top-k."""
+        searcher = self.catalog.searcher
+        if not pairs:
+            return []
+        if request.mode == "join":
+            if request.column is not None:
+                by_name = dict(pairs)
+                if request.column not in by_name:
+                    raise DiscoveryError(
+                        "not-found",
+                        f"query table has no column {request.column!r}",
+                    )
+                named = [(request.column, by_name[request.column])]
+            else:
+                named = pairs
+            return searcher.join_tables_scored(
+                named, request.k, exclude_table=exclude
+            )
+        return searcher.near_tables_scored(
+            pairs, request.k, exclude_table=exclude
+        )
+
+    def _build_hits(
+        self, request: DiscoveryRequest, matches: list[TableMatch]
+    ) -> tuple[tuple[Hit, ...], int]:
+        """Score, filter (min_score / shards), and truncate to ``k``."""
+        n_shards = self.catalog.n_shards
+        if request.shards is not None:
+            out_of_range = [s for s in request.shards if s >= n_shards]
+            if out_of_range:
+                raise bad_request(
+                    f"shard filter {out_of_range} out of range for a "
+                    f"{n_shards}-shard lake"
+                )
+        hits: list[Hit] = []
+        dropped = 0
+        for match in matches:
+            if request.mode == "join":
+                score = join_score(match.distance_sum)
+            else:
+                score = table_score(match.n_matched, match.distance_sum)
+            if request.min_score is not None and score < request.min_score:
+                dropped += 1
+                continue
+            if request.shards is not None and (
+                stable_shard(match.table, n_shards) not in request.shards
+            ):
+                dropped += 1
+                continue
+            hits.append(
+                Hit(
+                    table=match.table,
+                    score=score,
+                    n_matched_columns=match.n_matched,
+                    distance_sum=match.distance_sum,
+                    matches=tuple(
+                        ColumnMatch(query_column=q, table_column=c, distance=d)
+                        for q, c, d in match.matches
+                    ),
+                )
+            )
+            if len(hits) >= request.k:
+                break
+        return tuple(hits), dropped
+
+    def discover(
+        self,
+        request: DiscoveryRequest,
+        _resolved: tuple[list, str | None, dict] | None = None,
+    ) -> DiscoveryResult:
+        """Answer one :class:`DiscoveryRequest` with a typed, scored result.
+
+        The single entry point every surface shares: the legacy shims, the
+        CLI, and the HTTP server all route here, so a request answered
+        in-process and the same request answered over the wire return the
+        same ranked ``(table, score)`` hits.
+        """
+        request = request.validated()
+        started = time.perf_counter()
+        self._check_fingerprint(request)
+        pairs, exclude, diag = (
+            _resolved if _resolved is not None else self._resolve(request)
+        )
+        with self._lock:
+            self.query_count += 1
+            index_started = time.perf_counter()
+            matches = self._search(request, pairs, exclude)
+            index_ms = 1000.0 * (time.perf_counter() - index_started)
+            hits, dropped = self._build_hits(request, matches)
+            diagnostics = {
+                "member": diag.get("member", False),
+                "cache_hit": diag.get("cache_hit"),
+                "excluded": exclude,
+                "backend": self.catalog.index_spec.canonical(),
+                "n_shards": self.catalog.n_shards,
+                "candidates": len(matches),
+                "filtered": dropped,
+            }
+            if diag.get("batched"):
+                diagnostics["batched"] = diag["batched"]
+        timings = Timings(
+            sketch_ms=diag.get("sketch_ms", 0.0),
+            embed_ms=diag.get("embed_ms", 0.0),
+            index_ms=index_ms,
+            total_ms=1000.0 * (time.perf_counter() - started),
+        )
+        return DiscoveryResult(
+            version=API_VERSION,
+            mode=request.mode,
+            k=request.k,
+            query=request.query_name,
+            hits=hits,
+            timings=timings,
+            diagnostics=diagnostics,
+        )
+
+    def discover_batch(
+        self, requests: Sequence[DiscoveryRequest]
+    ) -> list[DiscoveryResult]:
+        """Answer many requests; uncached external payloads embed together.
+
+        All distinct-by-digest, not-yet-cached external query tables are
+        sketched and pushed through **one**
+        :meth:`~repro.lake.catalog.LakeCatalog.column_vector_pairs_many`
+        call — ``ceil(distinct / batch_size)`` trunk forwards for the whole
+        batch (duplicate payloads embed once), then every request is
+        answered from the precomputed vectors. Member-name queries never
+        touch the trunk at all.
+
+        The batch is all-or-nothing: the first failing request raises and
+        no results are returned (the embedding cache stays warm). To keep
+        the expensive batched pass from being paid and discarded, the
+        cheap failures — malformed requests, fingerprint pins, unknown
+        member names — are all checked *before* any sketching or
+        embedding.
+        """
+        requests = [request.validated() for request in requests]
+        with self._lock:
+            for request in requests:
+                self._check_fingerprint(request)
+                if request.table is not None and request.table not in self.catalog:
+                    raise DiscoveryError(
+                        "not-found",
+                        f"query table {request.table!r} not in catalog",
+                    )
+        digests = [
+            table_digest(request.payload) if request.payload is not None else None
+            for request in requests
+        ]
+        todo: dict[str, Table] = {}
+        with self._lock:
+            for request, digest in zip(requests, digests):
+                if digest is None or digest in todo:
+                    continue
+                if digest in self._cache:
+                    continue
+                todo[digest] = request.payload
+        precomputed: dict[str, list] = {}
+        shared_diag: dict[str, dict] = {}
+        if todo:
+            tables = list(todo.values())
+            started = time.perf_counter()
+            sketches = sketch_corpus(
+                tables, self.catalog.sketch_config, self.catalog._hasher
+            )
+            sketched = time.perf_counter()
+            pairs_list = self.catalog.column_vector_pairs_many(tables, sketches)
+            embedded = time.perf_counter()
+            # Amortized per-query share of the one batched pass.
+            sketch_ms = 1000.0 * (sketched - started) / len(tables)
+            embed_ms = 1000.0 * (embedded - sketched) / len(tables)
+            with self._lock:
+                for digest, pairs in zip(todo, pairs_list):
+                    self._cache.put(digest, pairs)
+                    self._cache.misses += 1  # it *was* a miss, batched or not
+                    precomputed[digest] = pairs
+                    shared_diag[digest] = {
+                        "member": False,
+                        "cache_hit": False,
+                        "batched": len(tables),
+                        "sketch_ms": sketch_ms,
+                        "embed_ms": embed_ms,
+                    }
+        results: list[DiscoveryResult] = []
+        for request, digest in zip(requests, digests):
+            if digest is not None and digest in precomputed:
+                with self._lock:
+                    exclude = (
+                        request.payload.name
+                        if request.payload.name in self.catalog
+                        else None
+                    )
+                resolved = (precomputed[digest], exclude, shared_diag[digest])
+                results.append(self.discover(request, _resolved=resolved))
+            else:
+                results.append(self.discover(request))
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Legacy shims — bare table-name results, pre-API exception types.
+    # ------------------------------------------------------------------ #
+    def _legacy_request(
         self,
         query: str | Table,
+        mode: str,
+        k: int,
+        column: str | None = None,
+    ) -> DiscoveryRequest:
+        # The pre-API signature only ever consulted ``column`` in join
+        # mode; keep ignoring it elsewhere instead of surfacing the
+        # stricter API-level rejection to old call sites.
+        if mode != "join":
+            column = None
+        if isinstance(query, Table):
+            return DiscoveryRequest(mode=mode, k=k, payload=query, column=column)
+        return DiscoveryRequest(mode=mode, k=k, table=query, column=column)
+
+    def query(
+        self,
+        query: "str | Table | DiscoveryRequest",
         mode: str = "union",
         k: int = 10,
         column: str | None = None,
-    ) -> list[str]:
+    ) -> "list[str] | DiscoveryResult":
         """Top-``k`` lake tables for one query table (or member name).
 
-        ``join`` mode searches by one column (``column=`` names it; default
-        is the paper's every-column union of per-column join results ranked
-        by best distance). ``union``/``subset`` run the Fig. 6 ranking.
+        Passed a :class:`DiscoveryRequest`, this *is* :meth:`discover` and
+        returns the full typed :class:`DiscoveryResult`. The legacy
+        signature (member name / ``Table`` plus ``mode``/``k``/``column``)
+        returns bare ranked names and re-raises failures as the pre-API
+        ``KeyError``/``ValueError`` — same ranking, scores dropped at the
+        last moment instead of inside the stack.
         """
-        if mode not in QUERY_MODES:
-            raise ValueError(f"unknown query mode {mode!r}; want one of {QUERY_MODES}")
-        pairs, exclude = self._resolve_vectors(query)
-        with self._lock:
-            self.query_count += 1
-            if not pairs:
-                return []
-            searcher = self.catalog.searcher
-            if mode == "join":
-                if column is not None:
-                    by_name = dict(pairs)
-                    if column not in by_name:
-                        raise KeyError(f"query table has no column {column!r}")
-                    return searcher.search_by_column(
-                        by_name[column], k, exclude_table=exclude
-                    )
-                # No column marked: best single-column match per lake
-                # table, over one batched query_many call.
-                best: dict[str, float] = {}
-                matrix = np.stack([vector for _, vector in pairs])
-                for nearest in searcher.column_near_tables_many(
-                    matrix, k, exclude_table=exclude
-                ):
-                    for table, distance in nearest.items():
-                        if table not in best or distance < best[table]:
-                            best[table] = distance
-                ranked = sorted(best.items(), key=lambda item: item[1])
-                return [table for table, _ in ranked[:k]]
-            vectors = np.stack([vector for _, vector in pairs])
-            return searcher.search_tables(vectors, k, exclude_table=exclude)
+        if isinstance(query, DiscoveryRequest):
+            return self.discover(query)
+        try:
+            result = self.discover(self._legacy_request(query, mode, k, column))
+        except DiscoveryError as exc:
+            raise exc.as_legacy() from None
+        return result.tables()
 
     def query_batch(
         self,
-        queries: list[str | Table],
+        queries: "Sequence[str | Table | DiscoveryRequest]",
         mode: str = "union",
         k: int = 10,
-    ) -> list[list[str]]:
-        """Answer many queries; the embedding cache is shared across the
-        batch."""
-        return [self.query(query, mode=mode, k=k) for query in queries]
+    ) -> "list[list[str]] | list[DiscoveryResult]":
+        """Answer many queries through one batched embedding pass.
+
+        A list of :class:`DiscoveryRequest` s returns typed results
+        (:meth:`discover_batch`); the legacy name/``Table`` form returns
+        bare ranked names with legacy exception types.
+        """
+        if all(isinstance(query, DiscoveryRequest) for query in queries):
+            return self.discover_batch(list(queries))
+        try:
+            results = self.discover_batch(
+                [
+                    query
+                    if isinstance(query, DiscoveryRequest)
+                    else self._legacy_request(query, mode, k)
+                    for query in queries
+                ]
+            )
+        except DiscoveryError as exc:
+            raise exc.as_legacy() from None
+        return [result.tables() for result in results]
 
     # ------------------------------------------------------------------ #
     def add_table(self, table: Table):
@@ -210,14 +496,33 @@ class LakeService:
     def stats(self) -> dict:
         with self._lock:
             stats = self.catalog.stats()
+            store_stats = (
+                self.catalog.store.stats()
+                if self.catalog.store is not None
+                else None
+            )
+            n_shards = self.catalog.n_shards
+            if n_shards == 1:
+                shard_tables = [len(self.catalog.records)]
+            elif store_stats is not None and "shard_tables" in store_stats:
+                # The sharded store's manifests already know their routing
+                # — no per-record hashing under the service lock.
+                shard_tables = list(store_stats["shard_tables"])
+            else:
+                shard_tables = [0] * n_shards
+                for name in self.catalog.records:
+                    shard_tables[stable_shard(name, n_shards)] += 1
             stats.update(
                 {
+                    "api_version": API_VERSION,
+                    "fingerprint": self.fingerprint(),
                     "queries_served": self.query_count,
                     "cache_entries": len(self._cache),
                     "cache_hits": self._cache.hits,
                     "cache_misses": self._cache.misses,
+                    "shard_tables": shard_tables,
                 }
             )
-            if self.catalog.store is not None:
-                stats["store"] = self.catalog.store.stats()
+            if store_stats is not None:
+                stats["store"] = store_stats
             return stats

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -41,6 +42,33 @@ class ColumnEntry:
 
     table: str
     column: str
+
+
+@dataclass(frozen=True)
+class TableMatch:
+    """One scored table hit with its per-column evidence.
+
+    The scored twin of the bare table-name results: ``matches`` records,
+    for every query column that matched this table, the closest indexed
+    column and its distance — ``(query_column, table_column, distance)``
+    triples in query-column order. ``n_matched`` is RANK1's matched-column
+    count, ``distance_sum`` RANK2's tie-break sum; for single-column join
+    results both collapse to the one best pair. Nothing here is lossy: the
+    legacy name-only methods are thin projections of this shape, so scores
+    propagate up to the Discovery API instead of being dropped.
+    """
+
+    table: str
+    n_matched: int
+    distance_sum: float
+    matches: tuple[tuple[str, str, float], ...] = ()
+
+    @property
+    def best_distance(self) -> float:
+        return min(
+            (distance for _, _, distance in self.matches),
+            default=self.distance_sum,
+        )
 
 
 class TableSearcher:
@@ -156,23 +184,24 @@ class TableSearcher:
             return 0
         return len(self._columns_by_table.get(exclude_table, ()))
 
-    def column_near_tables_many(
+    def column_near_entries_many(
         self,
         vectors: np.ndarray,
         k: int,
         exclude_table: str | None = None,
-    ) -> list[dict[str, float]]:
-        """Batched COLUMNNEARTABLES: one ``query_many`` call answers every
-        query column, then each row reduces to table -> closest-column
-        distance."""
+    ) -> list[dict[str, tuple[ColumnEntry, float]]]:
+        """Batched COLUMNNEARTABLES, evidence-preserving: one ``query_many``
+        call answers every query column, then each row reduces to
+        table -> (closest column entry, distance) — the *which column
+        matched* information the scored API surfaces as join evidence."""
         matrix = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
         want = k * self.candidate_factor
         batched = self.index.query_many(
             matrix, want + self._excluded_count(exclude_table)
         )
-        results: list[dict[str, float]] = []
+        results: list[dict[str, tuple[ColumnEntry, float]]] = []
         for hits in batched:
-            nearest: dict[str, float] = {}
+            nearest: dict[str, tuple[ColumnEntry, float]] = {}
             kept = 0
             for entry, distance in hits:
                 if exclude_table is not None and entry.table == exclude_table:
@@ -180,10 +209,25 @@ class TableSearcher:
                 if kept >= want:
                     break
                 kept += 1
-                if entry.table not in nearest or distance < nearest[entry.table]:
-                    nearest[entry.table] = distance
+                known = nearest.get(entry.table)
+                if known is None or distance < known[1]:
+                    nearest[entry.table] = (entry, distance)
             results.append(nearest)
         return results
+
+    def column_near_tables_many(
+        self,
+        vectors: np.ndarray,
+        k: int,
+        exclude_table: str | None = None,
+    ) -> list[dict[str, float]]:
+        """Batched COLUMNNEARTABLES: table -> closest-column distance per
+        query row (the entry-stripped view of
+        :meth:`column_near_entries_many`)."""
+        return [
+            {table: distance for table, (_, distance) in nearest.items()}
+            for nearest in self.column_near_entries_many(vectors, k, exclude_table)
+        ]
 
     def column_near_tables(
         self, vector: np.ndarray, k: int, exclude_table: str | None = None
@@ -193,6 +237,39 @@ class TableSearcher:
             np.asarray(vector, dtype=np.float64)[None, :], k, exclude_table
         )[0]
 
+    def near_tables_scored(
+        self,
+        named_vectors: "Sequence[tuple[str, np.ndarray]]",
+        k: int,
+        exclude_table: str | None = None,
+    ) -> list[TableMatch]:
+        """NEARTABLES + RANK1/RANK2 with per-column match evidence.
+
+        ``named_vectors`` pairs each query column's *name* with its vector
+        so every hit records which query column matched which indexed
+        column at what distance. Sorted by the paper's two-stage rank:
+        most matched columns first, then smallest summed distance. All
+        column lookups ride one batched :meth:`column_near_entries_many`
+        call.
+        """
+        matrix = np.stack([vector for _, vector in named_vectors])
+        per_column = self.column_near_entries_many(matrix, k, exclude_table)
+        evidence: dict[str, list[tuple[str, str, float]]] = defaultdict(list)
+        for (query_column, _), nearest in zip(named_vectors, per_column):
+            for table, (entry, distance) in nearest.items():
+                evidence[table].append((query_column, entry.column, float(distance)))
+        ranked = [
+            TableMatch(
+                table=table,
+                n_matched=len(matches),
+                distance_sum=float(sum(d for _, _, d in matches)),
+                matches=tuple(matches),
+            )
+            for table, matches in evidence.items()
+        ]
+        ranked.sort(key=lambda match: (-match.n_matched, match.distance_sum))
+        return ranked
+
     def near_tables(
         self,
         query_vectors: np.ndarray,
@@ -201,30 +278,67 @@ class TableSearcher:
     ) -> list[tuple[str, int, float]]:
         """NEARTABLES + RANK1/RANK2 over a query table's column vectors.
 
-        Returns ``(table, n_matched_columns, distance_sum)`` sorted by the
-        paper's two-stage rank: most matched columns first, then smallest
-        summed distance. All column lookups ride one batched
-        :meth:`column_near_tables_many` call.
+        Returns ``(table, n_matched_columns, distance_sum)`` — the
+        evidence-stripped projection of :meth:`near_tables_scored`, so the
+        two can never rank differently.
         """
-        matches: dict[str, list[float]] = defaultdict(list)
-        per_column = self.column_near_tables_many(
-            np.atleast_2d(query_vectors), k, exclude_table
-        )
-        for nearest in per_column:
-            for table, distance in nearest.items():
-                matches[table].append(distance)
-        ranked = [
-            (table, len(distances), float(sum(distances)))
-            for table, distances in matches.items()
+        matrix = np.atleast_2d(np.asarray(query_vectors, dtype=np.float64))
+        named = [(str(i), row) for i, row in enumerate(matrix)]
+        return [
+            (match.table, match.n_matched, match.distance_sum)
+            for match in self.near_tables_scored(named, k, exclude_table)
         ]
-        ranked.sort(key=lambda item: (-item[1], item[2]))
-        return ranked
+
+    def search_tables_scored(
+        self,
+        named_vectors: "Sequence[tuple[str, np.ndarray]]",
+        k: int,
+        exclude_table: str | None = None,
+    ) -> list[TableMatch]:
+        """Top-``k`` scored hits (with evidence) under the Fig. 6 ranking."""
+        return self.near_tables_scored(named_vectors, k, exclude_table)[:k]
 
     def search_tables(
         self, query_vectors: np.ndarray, k: int, exclude_table: str | None = None
     ) -> list[str]:
         """Top-``k`` table names under the Fig. 6 ranking."""
         return [t for t, _, _ in self.near_tables(query_vectors, k, exclude_table)][:k]
+
+    def join_tables_scored(
+        self,
+        named_vectors: "Sequence[tuple[str, np.ndarray]]",
+        k: int,
+        exclude_table: str | None = None,
+    ) -> list[TableMatch]:
+        """Scored join search over one or more query columns.
+
+        Each table is scored by its single closest column across *all* the
+        query columns (the paper's join ranking, generalized to every-column
+        queries); the evidence is that one best
+        ``(query_column, table_column, distance)`` pair. Ascending by best
+        distance over the whole ``k * candidate_factor`` candidate pool —
+        untruncated, so callers can post-filter without starving their
+        top-k.
+        """
+        matrix = np.stack([vector for _, vector in named_vectors])
+        per_column = self.column_near_entries_many(matrix, k, exclude_table)
+        best: dict[str, tuple[str, str, float]] = {}
+        for (query_column, _), nearest in zip(named_vectors, per_column):
+            for table, (entry, distance) in nearest.items():
+                known = best.get(table)
+                if known is None or distance < known[2]:
+                    best[table] = (query_column, entry.column, float(distance))
+        ranked = [
+            TableMatch(
+                table=table,
+                n_matched=1,
+                distance_sum=match[2],
+                matches=(match,),
+            )
+            for table, match in best.items()
+        ]
+        ranked.sort(key=lambda match: match.distance_sum)
+        return ranked
 
     def search_by_column(
         self, query_vector: np.ndarray, k: int, exclude_table: str | None = None

@@ -77,6 +77,69 @@ def test_cli_ingest_query_stats_roundtrip(tmp_path, csv_dir, capsys, lake_tables
     cli.main(["stats", "--lake", lake])
     out = capsys.readouterr().out
     assert f'"n_tables": {len(lake_tables) - 1}' in out
+    assert '"api_version": "v1"' in out
+    assert '"shard_tables"' in out
+
+
+def test_cli_query_json_emits_discovery_result(tmp_path, csv_dir, capsys):
+    """`query --json` prints the exact DiscoveryResult envelope — the CLI
+    is a serializer of the same schema the HTTP server speaks."""
+    import json as json_module
+
+    from repro.lake.api import API_VERSION, DiscoveryResult
+
+    lake = str(tmp_path / "lake")
+    cli.main([
+        "ingest", "--lake", lake, "--csv-dir", str(csv_dir),
+        "--num-perm", "16", "--dim", "32", "--vocab-size", "400",
+    ])
+    capsys.readouterr()
+    cli.main([
+        "query", "--lake", lake, "--table", "g1t1",
+        "--mode", "union", "-k", "3", "--json",
+    ])
+    out = capsys.readouterr().out
+    result = DiscoveryResult.from_dict(json_module.loads(out))
+    assert result.version == API_VERSION
+    assert result.query == "g1t1"
+    assert result.hits and all(hit.score > 0 for hit in result.hits)
+    scores = [hit.score for hit in result.hits]
+    assert scores == sorted(scores, reverse=True)
+
+    # The human-readable form carries the same ranking, scored.
+    cli.main(["query", "--lake", lake, "--table", "g1t1", "-k", "3"])
+    human = capsys.readouterr().out
+    for hit in result.hits:
+        assert hit.table in human
+    assert "score=" in human
+
+
+def test_cli_query_via_server(tmp_path, csv_dir, capsys):
+    """`query --server` answers through a live `serve` instance with the
+    same hits the local lake returns."""
+    from repro.lake.__main__ import _load_service
+    from repro.lake.server import ServerThread
+
+    lake = str(tmp_path / "lake")
+    cli.main([
+        "ingest", "--lake", lake, "--csv-dir", str(csv_dir),
+        "--num-perm", "16", "--dim", "32", "--vocab-size", "400",
+    ])
+    capsys.readouterr()
+    with ServerThread(_load_service(lake)) as server:
+        cli.main([
+            "query", "--server", f"127.0.0.1:{server.port}",
+            "--table", "g0t1", "-k", "3", "--json",
+        ])
+        remote_out = capsys.readouterr().out
+    cli.main(["query", "--lake", lake, "--table", "g0t1", "-k", "3", "--json"])
+    local_out = capsys.readouterr().out
+    import json as json_module
+
+    remote = json_module.loads(remote_out)
+    local = json_module.loads(local_out)
+    assert remote["hits"] == local["hits"]
+    assert remote["version"] == local["version"] == "v1"
 
 
 def test_cli_query_external_csv(tmp_path, csv_dir, capsys):

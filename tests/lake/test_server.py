@@ -1,0 +1,297 @@
+"""The wire layer: HTTP round-trip parity with the in-process service,
+typed error-envelope mapping, remote ingest/remove, and concurrent
+clients overlapping an ingest.
+
+The load-bearing property is **interchangeability**: for identical
+`DiscoveryRequest`s, `LakeService.discover` in-process and `LakeClient`
+over HTTP must return identical ranked hits — same tables, same scores,
+same evidence — across all three modes, member and external queries, and
+both index backends."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.lake.api import API_VERSION, DiscoveryError, DiscoveryRequest
+from repro.lake.catalog import LakeCatalog
+from repro.lake.client import LakeClient
+from repro.lake.server import ServerThread
+from repro.lake.service import LakeService
+
+MODES = ("join", "union", "subset")
+BACKENDS = ("exact", "hnsw")
+
+
+@pytest.fixture(params=BACKENDS)
+def backend_service(request, lake_embedder, lake_tables) -> LakeService:
+    catalog = LakeCatalog(lake_embedder, index_backend=request.param)
+    for table in lake_tables.values():
+        catalog.add_table(table)
+    return LakeService(catalog)
+
+
+@pytest.fixture()
+def served(backend_service):
+    with ServerThread(backend_service) as server:
+        client = LakeClient(port=server.port)
+        yield backend_service, client
+        client.close()
+
+
+def _requests(lake_tables) -> list[DiscoveryRequest]:
+    member = "g1t1"
+    source = lake_tables["g0t2"]
+    probe = source.with_columns(source.columns, name="external-probe")
+    out = []
+    for mode in MODES:
+        out.append(DiscoveryRequest(mode=mode, k=5, table=member))
+        out.append(DiscoveryRequest(mode=mode, k=5, payload=probe))
+    out.append(
+        DiscoveryRequest(mode="join", k=5, table=member, column="entity")
+    )
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Parity
+# --------------------------------------------------------------------- #
+def test_http_parity_with_in_process(served, lake_tables):
+    """The acceptance criterion: identical requests, identical ranked
+    ``(table, score)`` hits — and identical evidence — across all modes,
+    member + external queries, on both backends."""
+    service, client = served
+    for request in _requests(lake_tables):
+        local = service.discover(request)
+        remote = client.query(request)
+        assert remote.scored() == local.scored(), request.mode
+        # Full hit payloads (evidence included) are byte-identical JSON.
+        local_hits = json.dumps([hit.to_dict() for hit in local.hits])
+        remote_hits = json.dumps([hit.to_dict() for hit in remote.hits])
+        assert remote_hits == local_hits
+        assert (remote.version, remote.mode, remote.k, remote.query) == (
+            local.version, local.mode, local.k, local.query,
+        )
+
+
+def test_query_batch_parity_over_http(served, lake_tables):
+    service, client = served
+    requests = _requests(lake_tables)
+    local = service.discover_batch(requests)
+    remote = client.query_batch(requests)
+    assert [r.scored() for r in remote] == [r.scored() for r in local]
+
+
+def test_legacy_search_shim_matches_service(served, lake_tables):
+    service, client = served
+    assert client.search("g1t1", mode="union", k=4) == service.query(
+        "g1t1", mode="union", k=4
+    )
+
+
+# --------------------------------------------------------------------- #
+# Error envelopes
+# --------------------------------------------------------------------- #
+def test_error_envelope_mapping(served):
+    service, client = served
+    cases = [
+        (DiscoveryRequest(mode="union", k=3, table="missing"), "not-found", 404),
+        (DiscoveryRequest(mode="union", k=0, table="g0t0"), "bad-request", 400),
+        (
+            DiscoveryRequest(mode="join", k=3, table="g0t0", column="ghost"),
+            "not-found",
+            404,
+        ),
+        (
+            DiscoveryRequest(mode="union", k=3, table="g0t0", fingerprint="bogus"),
+            "fingerprint-mismatch",
+            409,
+        ),
+    ]
+    for request, code, status in cases:
+        # In-process raises the same typed error the wire reports.
+        with pytest.raises(DiscoveryError) as local_exc:
+            service.discover(request)
+        assert local_exc.value.code == code
+        with pytest.raises(DiscoveryError) as remote_exc:
+            client.query(request)
+        assert remote_exc.value.code == code
+        assert remote_exc.value.status == status
+        assert remote_exc.value.message == local_exc.value.message
+
+
+def test_raw_http_statuses_and_envelopes(served):
+    _, client = served
+    conn = http.client.HTTPConnection(client.host, client.port, timeout=30)
+    try:
+        cases = [
+            ("POST", "/v1/query", b"this is not json", 400, "bad-request"),
+            ("POST", "/v1/query", json.dumps({"k": 3}).encode(), 400, "bad-request"),
+            (
+                "POST",
+                "/v1/query",
+                json.dumps({"table": "missing", "k": 1}).encode(),
+                404,
+                "not-found",
+            ),
+            ("GET", "/v1/no-such-route", None, 404, "not-found"),
+            ("PUT", "/v1/query", b"{}", 404, "not-found"),
+        ]
+        for method, path, body, status, code in cases:
+            conn.request(method, path, body=body)
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == status, (method, path)
+            assert payload["error"]["code"] == code
+            assert payload["version"] == API_VERSION
+    finally:
+        conn.close()
+
+
+def test_unframeable_requests_get_envelopes_and_server_survives(served):
+    import socket
+
+    _, client = served
+    # An oversized Content-Length still gets the typed envelope (then the
+    # connection closes — the unread body makes keep-alive impossible).
+    with socket.create_connection((client.host, client.port), timeout=30) as raw:
+        raw.sendall(
+            b"POST /v1/query HTTP/1.1\r\n"
+            b"Content-Length: 999999999999\r\n\r\n"
+        )
+        response = raw.recv(65536)
+    assert response.startswith(b"HTTP/1.1 400 ")
+    assert b"bad-request" in response
+    assert b"Connection: close" in response
+
+    # A client that vanishes mid-body must not poison the server.
+    with socket.create_connection((client.host, client.port), timeout=30) as raw:
+        raw.sendall(
+            b"POST /v1/query HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort"
+        )
+    assert client.healthz() == {"status": "ok", "version": API_VERSION}
+
+
+def test_remove_missing_table_is_404(served):
+    _, client = served
+    with pytest.raises(DiscoveryError) as excinfo:
+        client.remove_table("never-ingested")
+    assert excinfo.value.code == "not-found"
+
+
+# --------------------------------------------------------------------- #
+# Remote ingest / stats
+# --------------------------------------------------------------------- #
+def test_remote_ingest_remove_and_stats(served, lake_tables):
+    service, client = served
+    base = len(service.catalog)
+    source = lake_tables["g2t1"]
+    fresh = [
+        source.with_columns(source.columns, name=f"wire{i}") for i in range(3)
+    ]
+    response = client.add_tables(fresh)
+    assert response["added"] == 3
+    assert response["n_tables"] == base + 3
+
+    # The ingested tables are immediately discoverable, identically to an
+    # in-process query of the same member.
+    request = DiscoveryRequest(mode="union", k=4, table="wire0")
+    assert client.query(request).scored() == service.discover(request).scored()
+
+    # Duplicate ingest rejects as bad-request without partial effects.
+    with pytest.raises(DiscoveryError) as excinfo:
+        client.add_tables([fresh[0]])
+    assert excinfo.value.code == "bad-request"
+    assert len(service.catalog) == base + 3
+
+    stats = client.stats()
+    assert stats["version"] == API_VERSION
+    assert stats["api_version"] == API_VERSION
+    assert stats["n_tables"] == base + 3
+    assert stats["index_backend"] in ("exact", "hnsw")
+    assert sum(stats["shard_tables"]) == base + 3
+    assert len(stats["shard_tables"]) == stats["n_shards"]
+
+    for table in fresh:
+        assert client.remove_table(table.name)["removed"] == table.name
+    assert client.stats()["n_tables"] == base
+    assert client.healthz() == {"status": "ok", "version": API_VERSION}
+
+
+# --------------------------------------------------------------------- #
+# Concurrency: queries overlap ingest through the wire
+# --------------------------------------------------------------------- #
+N_CLIENTS = 4
+QUERIES_PER_CLIENT = 8
+
+
+def test_concurrent_clients_overlap_ingest(lake_embedder, lake_tables):
+    """N client threads hammer queries while another ingests over HTTP;
+    nothing errors, every response is well-formed, and the final state
+    equals the ledger of applied operations (then re-checked in-process)."""
+    catalog = LakeCatalog(lake_embedder)
+    for table in lake_tables.values():
+        catalog.add_table(table)
+    service = LakeService(catalog)
+    base_names = set(lake_tables)
+    source = lake_tables["g0t0"]
+    ingest_names = [f"stress{i}" for i in range(6)]
+
+    with ServerThread(service, max_workers=N_CLIENTS + 1) as server:
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(N_CLIENTS + 1)
+
+        def querier(seed: int) -> None:
+            client = LakeClient(port=server.port)
+            try:
+                barrier.wait()
+                members = sorted(base_names)
+                for i in range(QUERIES_PER_CLIENT):
+                    name = members[(seed + i) % len(members)]
+                    mode = MODES[i % len(MODES)]
+                    result = client.query(
+                        DiscoveryRequest(mode=mode, k=5, table=name)
+                    )
+                    assert result.version == API_VERSION
+                    assert name not in result.tables(), "leave-one-out"
+                    scores = [hit.score for hit in result.hits]
+                    assert scores == sorted(scores, reverse=True)
+            except BaseException as exc:  # noqa: BLE001 — reported below
+                errors.append(exc)
+            finally:
+                client.close()
+
+        def ingester() -> None:
+            client = LakeClient(port=server.port)
+            try:
+                barrier.wait()
+                for name in ingest_names:
+                    table = source.with_columns(source.columns, name=name)
+                    client.add_tables([table])
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+            finally:
+                client.close()
+
+        threads = [
+            threading.Thread(target=querier, args=(i,)) for i in range(N_CLIENTS)
+        ]
+        threads.append(threading.Thread(target=ingester))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, f"workers raised: {errors!r}"
+
+        # Ledger: every ingested table landed exactly once.
+        stats = LakeClient(port=server.port).stats()
+        assert stats["n_tables"] == len(base_names) + len(ingest_names)
+
+    assert set(service.catalog.table_names()) == base_names | set(ingest_names)
+    # The server thread is gone; the in-process view still answers and
+    # matches what a final wire query would have said.
+    request = DiscoveryRequest(mode="union", k=5, table=ingest_names[0])
+    assert service.discover(request).tables()

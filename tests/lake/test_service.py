@@ -108,6 +108,25 @@ def test_query_validation(cold_catalog, lake_tables):
         service.query("missing")
     with pytest.raises(KeyError, match="no column"):
         service.query("g0t0", mode="join", column="ghost")
+    # The pre-API signature only consulted column= in join mode; the shim
+    # keeps ignoring it elsewhere rather than surfacing the stricter
+    # API-level rejection.
+    assert service.query("g0t0", mode="union", column="ghost") == service.query(
+        "g0t0", mode="union"
+    )
+
+
+def test_query_batch_fails_fast_before_embedding(cold_catalog, lake_tables):
+    """An unknown member name aborts the batch *before* the batched
+    embedding pass pays for payloads that would be discarded."""
+    service = LakeService(cold_catalog)
+    probe = lake_tables["g0t1"].with_columns(
+        lake_tables["g0t1"].columns, name="failfast-probe"
+    )
+    before = cold_catalog.embed_calls
+    with pytest.raises(KeyError, match="not in catalog"):
+        service.query_batch([probe, "missing"], mode="union", k=3)
+    assert cold_catalog.embed_calls == before, "no wasted trunk forwards"
 
 
 def test_query_batch_shares_cache(cold_catalog, lake_tables):
@@ -115,11 +134,46 @@ def test_query_batch_shares_cache(cold_catalog, lake_tables):
     probe = lake_tables["g0t1"].with_columns(
         lake_tables["g0t1"].columns, name="probe"
     )
+    before = cold_catalog.embed_calls
     results = service.query_batch([probe, probe, "g0t0"], mode="subset", k=3)
     assert len(results) == 3
     assert results[0] == results[1]
-    assert service._cache.hits == 1
+    # One distinct uncached payload -> one batched embedding pass; the
+    # duplicate dedupes by digest and the member name never embeds.
+    assert cold_catalog.embed_calls == before + 1
+    assert service._cache.misses == 1
     assert service.stats()["queries_served"] == 3
+    # A later lone query answers from the cache the batch populated.
+    assert service.query(probe, mode="subset", k=3) == results[0]
+    assert cold_catalog.embed_calls == before + 1
+    assert service._cache.hits == 1
+
+
+def test_query_batch_embeds_distinct_externals_in_one_pass(
+    lake_embedder, lake_tables
+):
+    """The satellite guarantee: N distinct uncached external query tables
+    cost ``ceil(N / batch_size)`` trunk forwards, not N serial ones."""
+    catalog = LakeCatalog(lake_embedder, batch_size=4)
+    for table in lake_tables.values():
+        catalog.add_table(table)
+    service = LakeService(catalog)
+    probes = [
+        table.with_columns(table.columns, name=f"batchprobe{i}")
+        for i, table in enumerate(list(lake_tables.values())[:6])
+    ]
+    # 6 distinct + 2 duplicates + 1 member at batch_size=4 -> ceil(6/4) = 2.
+    queries = probes + [probes[0], probes[3], "g0t0"]
+    before = catalog.embed_calls
+    results = service.query_batch(queries, mode="union", k=4)
+    assert len(results) == len(queries)
+    assert catalog.embed_calls == before + 2
+    assert results[len(probes)] == results[0]
+    assert results[len(probes) + 1] == results[3]
+    # Batched answers match the serial one-at-a-time path exactly.
+    serial = LakeService(catalog)
+    for query, result in zip(queries, results):
+        assert serial.query(query, mode="union", k=4) == result
 
 
 def test_concurrent_reads_are_consistent(cold_catalog):
