@@ -5,7 +5,9 @@ Builds a tiny lake from generated CSVs via the CLI, starts
 queries it with :class:`~repro.lake.client.LakeClient`, asserts the hits
 are identical to the in-process answer for the same
 :class:`DiscoveryRequest` (all three modes), exercises remote ingest +
-remove + stats, and checks the server shuts down cleanly on SIGINT.
+remove + stats, checks the telemetry surface (``/v1/metrics`` JSON and
+Prometheus renderings, ``/v1/slow_queries``, request-id echo), and checks
+the server shuts down cleanly on SIGINT.
 
 Run from the repo root::
 
@@ -121,6 +123,30 @@ def main() -> None:
             stats = client.stats()
             assert stats["api_version"] == "v1"
             assert sum(stats["shard_tables"]) == stats["n_tables"]
+
+            # Telemetry surface: the query counter moves across the wire,
+            # the Prometheus rendering parses, request ids round-trip.
+            def _counter(snapshot: dict, name: str) -> float:
+                metric = snapshot["metrics"][name]
+                return sum(entry["value"] for entry in metric["values"])
+
+            first = client.metrics()
+            assert first["version"] == "v1"
+            client.query(DiscoveryRequest(mode="union", k=3, table="g0t0"))
+            second = client.metrics()
+            assert (
+                _counter(second, "lake_queries_total")
+                == _counter(first, "lake_queries_total") + 1
+            ), "lake_queries_total must increment across wire queries"
+            assert client.last_request_id, "client must learn its request id"
+
+            exposition = client.metrics_text()
+            assert "# TYPE lake_queries_total counter" in exposition
+            assert 'lake_query_duration_ms_bucket{mode="union",le="+Inf"}' in (
+                exposition
+            )
+            slow = client.slow_queries()
+            assert slow and slow[0]["spans"]["name"] == "lake.discover"
             client.close()
         finally:
             process.send_signal(signal.SIGINT)
@@ -134,7 +160,8 @@ def main() -> None:
         )
         print(
             f"server smoke OK: {checked} mode parities, remote ingest/remove, "
-            "stats versioned, clean SIGINT shutdown"
+            "stats versioned, metrics + slow-query surface live, clean "
+            "SIGINT shutdown"
         )
 
 

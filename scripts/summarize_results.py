@@ -34,6 +34,7 @@ EXPERIMENT_ORDER = [
     "index_backends",
     "sharded_lake",
     "discovery_api",
+    "obs_overhead",
 ]
 
 

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.inputs import EncodedTable, InputEncoder, PairEncoding, batch_encodings
 from repro.core.model import TabSketchFM
 from repro.nn.tensor import no_grad
@@ -44,6 +45,22 @@ from repro.sketch.pipeline import SketchConfig, TableSketch, sketch_table
 from repro.table.schema import Table
 
 DEFAULT_BATCH_SIZE = 16
+
+_FORWARDS = obs.counter(
+    "engine_forwards_total", "Trunk forward passes run by the embedding engine"
+)
+_FORWARD_MS = obs.histogram(
+    "engine_forward_duration_ms",
+    "Wall time of one trunk forward (finalize + encode + readout), milliseconds",
+)
+_TOKENS = obs.counter(
+    "engine_tokens_total", "Real (unpadded) tokens pushed through the trunk"
+)
+_PADDED_WASTE = obs.counter(
+    "engine_padded_tokens_total",
+    "Padding tokens wasted per forward, by power-of-two batch-length bucket",
+    ("bucket",),
+)
 
 
 @dataclass
@@ -127,17 +144,27 @@ class EmbeddingEngine:
         call never holds two corpus-sized copies of the input arrays.
         """
         pad_id = self.encoder.tokenizer.vocabulary.pad_id
-        batch = batch_encodings(
-            [self._finalize(encoded) for encoded in encodeds], pad_token_id=pad_id
-        )
-        self.model.eval()
-        with no_grad():
-            embedded = self.model.embed_inputs(batch)
-            contextual = self.model.encoder(embedded, batch["attention_mask"])
-            pooled = self.model.pool(contextual).numpy()
-            first_last = ((embedded + contextual) * 0.5).numpy()
+        with obs.span("engine.forward", tables=len(encodeds)) as forward:
+            batch = batch_encodings(
+                [self._finalize(encoded) for encoded in encodeds], pad_token_id=pad_id
+            )
+            self.model.eval()
+            with no_grad():
+                embedded = self.model.embed_inputs(batch)
+                contextual = self.model.encoder(embedded, batch["attention_mask"])
+                pooled = self.model.pool(contextual).numpy()
+                first_last = ((embedded + contextual) * 0.5).numpy()
         with self._counter_lock:
             self.forward_calls += 1
+        if obs.enabled():
+            lengths = [encoded.length for encoded in encodeds]
+            padded_len = max(lengths)
+            waste = padded_len * len(lengths) - sum(lengths)
+            bucket = 1 << max(0, padded_len - 1).bit_length()
+            _FORWARDS.inc()
+            _FORWARD_MS.observe(forward.duration_ms)
+            _TOKENS.inc(sum(lengths))
+            _PADDED_WASTE.labels(bucket=str(bucket)).inc(waste)
 
         max_len = self.encoder.config.max_seq_len
         results: list[TableEmbeddings] = []

@@ -7,7 +7,7 @@ Commands::
     serve   --lake LAKE [--port P]      # asyncio HTTP front-end (/v1/query...)
     remove  --lake LAKE --table NAME    # drop one table (incremental)
     reshard --lake LAKE --shards N      # migrate to an N-shard layout
-    stats   --lake LAKE                 # catalog + store statistics
+    stats   --lake LAKE [--metrics]     # catalog + store (+ obs) statistics
 
 ``query`` is a thin serializer of the versioned Discovery API
 (:mod:`repro.lake.api`): it builds one :class:`DiscoveryRequest`, asks
@@ -246,6 +246,17 @@ def cmd_query(args: argparse.Namespace) -> None:
 
 def cmd_serve(args: argparse.Namespace) -> None:
     import asyncio
+    import logging
+
+    # One JSON access-log line per request on stderr while observability
+    # is enabled ($REPRO_OBS_ENABLED, default on).
+    from repro.lake.server import access_log
+
+    if not access_log.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        access_log.addHandler(handler)
+        access_log.setLevel(logging.INFO)
 
     service = _load_service(args.lake, index_backend=args.index_backend)
     stats = service.stats()
@@ -281,8 +292,13 @@ def cmd_remove(args: argparse.Namespace) -> None:
 
 
 def cmd_stats(args: argparse.Namespace) -> None:
+    from repro import obs
+
     service = _load_service(args.lake)
-    print(json.dumps(service.stats(), indent=2, sort_keys=True))
+    payload = service.stats()
+    if args.metrics:
+        payload["metrics"] = obs.get_registry().collect()
+    print(json.dumps(payload, indent=2, sort_keys=True))
 
 
 #: Store-layout files swapped by ``reshard`` — everything under the lake
@@ -491,7 +507,8 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="expose the lake over HTTP: POST /v1/query, /v1/query_batch, "
              "/v1/tables, DELETE /v1/tables/{name}, GET /v1/stats, "
-             "/v1/healthz (asyncio, blocking work in a thread pool)",
+             "/v1/healthz, /v1/metrics, /v1/slow_queries (asyncio, "
+             "blocking work in a thread pool)",
     )
     serve.add_argument("--lake", required=True)
     serve.add_argument("--host", default="127.0.0.1")
@@ -531,6 +548,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = sub.add_parser("stats", help="print catalog + store statistics")
     stats.add_argument("--lake", required=True)
+    stats.add_argument(
+        "--metrics", action="store_true",
+        help="include the repro.obs metrics registry (counters, gauges, "
+             "histogram quantiles) under a 'metrics' key",
+    )
     stats.set_defaults(func=cmd_stats)
     return parser
 

@@ -391,7 +391,22 @@ class Hit:
 
 @dataclass(frozen=True)
 class Timings:
-    """Where one query's milliseconds went (all zero on cache hits)."""
+    """Where one query's milliseconds went.
+
+    A projection of the service's ``lake.discover`` span tree
+    (:mod:`repro.obs`): ``sketch_ms`` / ``embed_ms`` sum the
+    ``lake.sketch`` / ``lake.embed`` children, ``index_ms`` the
+    ``lake.index`` child (the index search only — hit building and
+    filtering land in ``total_ms``), and ``total_ms`` is the root span.
+
+    On a query-cache hit (and for catalog-member queries, which reuse
+    stored vectors), only ``sketch_ms`` and ``embed_ms`` are zero — the
+    index search and the end-to-end total are still real work and stay
+    nonzero. Whether a hit occurred travels separately, as the
+    ``cache_hit`` key of :attr:`DiscoveryResult.diagnostics` (``True`` /
+    ``False`` for external payloads, ``None`` for member queries that
+    never consult the cache).
+    """
 
     sketch_ms: float = 0.0
     embed_ms: float = 0.0

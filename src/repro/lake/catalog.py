@@ -39,6 +39,7 @@ from collections import Counter, defaultdict
 
 import numpy as np
 
+from repro import obs
 from repro.core.embed import TableEmbedder, finalize_column_vectors
 from repro.core.engine import TableEmbeddings, sketch_corpus
 from repro.lake.serialization import FingerprintMismatchError
@@ -48,6 +49,17 @@ from repro.search.tables import TableSearcher
 from repro.sketch.pipeline import TableSketch, sketch_table
 from repro.table.schema import Table
 from repro.text.sbert import HashedSentenceEncoder
+
+_TABLES_ADDED = obs.counter(
+    "lake_tables_added_total", "Tables added to a lake catalog"
+)
+_TABLES_REMOVED = obs.counter(
+    "lake_tables_removed_total", "Tables removed from a lake catalog"
+)
+_INGEST_MS = obs.histogram(
+    "lake_ingest_duration_ms",
+    "Catalog ingest latency in milliseconds, per add_table/add_tables call",
+)
 
 
 def _index_matches_records(index, records: "list[LakeTableRecord]") -> bool:
@@ -305,8 +317,11 @@ class LakeCatalog:
             raise ValueError(
                 f"table {table.name!r} already in catalog; use update_table"
             )
-        record = self._compute_record(table)
-        self._register(record)
+        with obs.span("lake.ingest", table=table.name) as ingest:
+            record = self._compute_record(table)
+            self._register(record)
+        _TABLES_ADDED.inc()
+        _INGEST_MS.observe(ingest.duration_ms)
         return record
 
     def add_tables(
@@ -336,23 +351,27 @@ class LakeCatalog:
                 )
         ordered = list(tables.values())
         workers = ingest_workers
-        sketches = sketch_corpus(
-            ordered,
-            self.sketch_config,
-            self._hasher,
-            workers=sketch_workers if sketch_workers is not None else workers,
-        )
-        embeddings = self._embed_sketches(
-            sketches, batch_size=batch_size, workers=workers
-        )
-        records = []
-        for table, sketch, embedding in zip(ordered, sketches, embeddings):
-            record = self._build_record(table, sketch, embedding)
-            self._register(record, persist=False)
-            records.append(record)
-        if self.store is not None:
-            self.store.save_tables(records, workers=workers)
-            self._persist_index(workers=workers)
+        with obs.span("lake.ingest", tables=len(ordered)) as ingest:
+            sketches = sketch_corpus(
+                ordered,
+                self.sketch_config,
+                self._hasher,
+                workers=sketch_workers if sketch_workers is not None else workers,
+            )
+            embeddings = self._embed_sketches(
+                sketches, batch_size=batch_size, workers=workers
+            )
+            records = []
+            for table, sketch, embedding in zip(ordered, sketches, embeddings):
+                record = self._build_record(table, sketch, embedding)
+                self._register(record, persist=False)
+                records.append(record)
+            if self.store is not None:
+                self.store.save_tables(records, workers=workers)
+                self._persist_index(workers=workers)
+        if records:
+            _TABLES_ADDED.inc(len(records))
+            _INGEST_MS.observe(ingest.duration_ms)
         return records
 
     def remove_table(self, name: str, persist_index: bool = True) -> bool:
@@ -363,6 +382,8 @@ class LakeCatalog:
             self.store.remove_table(name)
             if record is not None and persist_index:
                 self._persist_index()
+        if record is not None:
+            _TABLES_REMOVED.inc()
         return record is not None
 
     def update_table(self, table: Table) -> LakeTableRecord:

@@ -14,6 +14,12 @@ One keep-alive connection per client, guarded by a lock (HTTP/1.1
 pipelining is not attempted); a connection dropped by the server mid-idle
 is transparently re-dialed once. For concurrent load, use one client per
 thread — they are cheap.
+
+Every request is stamped with an ``X-Request-Id`` header (caller-supplied
+via ``query(..., request_id=...)`` or freshly generated), the server binds
+it to the handling trace, and the echoed header of the last exchange is
+kept on :attr:`LakeClient.last_request_id` — one id correlates the client
+call, the server's access-log line, and the slow-query entry.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import json
 import socket
 import threading
 
+from repro import obs
 from repro.lake.api import (
     API_VERSION,
     DiscoveryError,
@@ -50,6 +57,8 @@ class LakeClient:
         self.timeout = timeout
         self._lock = threading.Lock()
         self._conn: http.client.HTTPConnection | None = None
+        #: ``X-Request-Id`` echoed by the server on the last exchange.
+        self.last_request_id: str | None = None
 
     # ------------------------------------------------------------------ #
     def _connection(self) -> http.client.HTTPConnection:
@@ -71,9 +80,21 @@ class LakeClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        request_id: str | None = None,
+        expect_json: bool = True,
+    ):
         body = json.dumps(payload).encode("utf-8") if payload is not None else None
         headers = {"Content-Type": "application/json"} if body else {}
+        # Caller-supplied id wins; else propagate the trace-bound one (an
+        # in-process pipeline calling out keeps one id end to end); else mint.
+        rid = request_id or obs.request_id() or obs.new_request_id()
+        headers["X-Request-Id"] = rid
+        echoed: str | None = None
         with self._lock:
             for attempt in (0, 1):
                 conn = self._connection()
@@ -84,6 +105,7 @@ class LakeClient:
                     response = conn.getresponse()
                     raw = response.read()
                     status = response.status
+                    echoed = response.getheader("X-Request-Id")
                     break
                 except (
                     http.client.HTTPException,
@@ -108,6 +130,9 @@ class LakeClient:
                     )
                     if attempt or not ((not sent) or read_only):
                         raise
+        self.last_request_id = echoed or rid
+        if not expect_json and status < 400:
+            return raw.decode("utf-8")
         try:
             decoded = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -126,10 +151,14 @@ class LakeClient:
         return decoded
 
     # ------------------------------------------------------------------ #
-    def query(self, request: DiscoveryRequest) -> DiscoveryResult:
+    def query(
+        self, request: DiscoveryRequest, request_id: str | None = None
+    ) -> DiscoveryResult:
         """``POST /v1/query`` — one typed request, one typed ranked result."""
         payload = request.validated().to_dict()
-        return DiscoveryResult.from_dict(self._request("POST", "/v1/query", payload))
+        return DiscoveryResult.from_dict(
+            self._request("POST", "/v1/query", payload, request_id=request_id)
+        )
 
     def query_batch(
         self, requests: "list[DiscoveryRequest]"
@@ -178,6 +207,26 @@ class LakeClient:
 
     def stats(self) -> dict:
         return self._request("GET", "/v1/stats")
+
+    def metrics(self) -> dict:
+        """``GET /v1/metrics`` — the :mod:`repro.obs` registry as JSON."""
+        return self._request("GET", "/v1/metrics")
+
+    def metrics_text(self) -> str:
+        """``GET /v1/metrics?format=prometheus`` — the text exposition."""
+        return self._request(
+            "GET", "/v1/metrics?format=prometheus", expect_json=False
+        )
+
+    def slow_queries(self) -> list[dict]:
+        """``GET /v1/slow_queries`` — slowest requests, span breakdowns."""
+        decoded = self._request("GET", "/v1/slow_queries")
+        entries = decoded.get("slow_queries")
+        if not isinstance(entries, list):
+            raise DiscoveryError(
+                "internal", "slow_queries response missing 'slow_queries' list"
+            )
+        return entries
 
     def healthz(self) -> dict:
         return self._request("GET", "/v1/healthz")

@@ -18,7 +18,17 @@ Endpoints (all JSON, all versioned under ``/v1``):
 ``DELETE /v1/tables/N``   drop one table (404 when absent)
 ``GET /v1/stats``         service statistics + schema version
 ``GET /v1/healthz``       liveness probe
+``GET /v1/metrics``       :mod:`repro.obs` registry — JSON by default,
+                          Prometheus text exposition with
+                          ``?format=prometheus`` or ``Accept: text/plain``
+``GET /v1/slow_queries``  the service's top-N slowest requests with their
+                          span breakdowns
 ====================== ====================================================
+
+Every response carries an ``X-Request-Id`` header: the client's, echoed,
+when the request stamped one, else a fresh id. The id is bound to the
+handling thread's trace context (:func:`repro.obs.bind_request_id`), so it
+lands in diagnostics, access-log lines, and slow-query entries.
 
 Failures cross the wire as the typed error envelope
 ``{"error": {"code", "message"}, "version"}`` with the
@@ -36,10 +46,13 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
-from urllib.parse import unquote
+from urllib.parse import parse_qs, unquote
 
+from repro import obs
 from repro.lake.api import (
     API_VERSION,
     DiscoveryError,
@@ -66,6 +79,21 @@ MAX_BODY_BYTES = 64 * 1024 * 1024
 
 DEFAULT_WORKERS = 4
 
+#: One JSON line per answered request, emitted when observability is on.
+#: ``python -m repro.lake serve`` attaches a stderr handler; embedded
+#: servers inherit whatever logging config the host process set up.
+access_log = logging.getLogger("repro.lake.access")
+
+_HTTP_REQUESTS = obs.counter(
+    "lake_http_requests_total",
+    "HTTP requests answered, by route and status",
+    ("route", "status"),
+)
+_HTTP_MS = obs.histogram(
+    "lake_http_request_duration_ms",
+    "Server-side HTTP request latency in milliseconds (decode to encode)",
+)
+
 
 class _BadFrame(Exception):
     """A request that cannot be framed (and so cannot stay keep-alive)."""
@@ -73,6 +101,17 @@ class _BadFrame(Exception):
 
 def _error_payload(exc: DiscoveryError) -> dict:
     return {"error": exc.to_dict(), "version": API_VERSION}
+
+
+class _TextBody:
+    """A non-JSON response body with its own content type (e.g. the
+    Prometheus text exposition)."""
+
+    __slots__ = ("content_type", "text")
+
+    def __init__(self, content_type: str, text: str):
+        self.content_type = content_type
+        self.text = text
 
 
 class LakeServer:
@@ -135,7 +174,7 @@ class LakeServer:
                 if parsed is None:
                     break
                 method, path, headers, body = parsed
-                writer.write(await self._dispatch(method, path, body))
+                writer.write(await self._dispatch(method, path, headers, body))
                 await writer.drain()
                 if headers.get("connection", "").lower() == "close":
                     break
@@ -190,19 +229,35 @@ class LakeServer:
         return method, path, headers, body
 
     @staticmethod
-    def _encode_response(status: int, payload: dict, keep_alive: bool = True) -> bytes:
-        body = json.dumps(payload).encode("utf-8")
+    def _encode_response(
+        status: int,
+        payload: "dict | _TextBody",
+        keep_alive: bool = True,
+        extra_headers: dict | None = None,
+    ) -> bytes:
+        if isinstance(payload, _TextBody):
+            body = payload.text.encode("utf-8")
+            content_type = payload.content_type
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         connection = "keep-alive" if keep_alive else "close"
+        extras = "".join(
+            f"{name}: {value}\r\n" for name, value in (extra_headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
-            f"Connection: {connection}\r\n\r\n"
+            f"Connection: {connection}\r\n"
+            f"{extras}\r\n"
         )
         return head.encode("latin-1") + body
 
     # ------------------------------------------------------------------ #
-    async def _dispatch(self, method: str, path: str, body: bytes) -> bytes:
+    async def _dispatch(
+        self, method: str, path: str, headers: dict, body: bytes
+    ) -> bytes:
         """Answer one request off the event loop.
 
         The *whole* blocking pipeline — JSON decode, routing, the service
@@ -211,27 +266,60 @@ class LakeServer:
         while it parses.
         """
         return await asyncio.get_running_loop().run_in_executor(
-            self._pool, self._respond, method, path, body
+            self._pool, self._respond, method, path, headers, body
         )
 
-    def _respond(self, method: str, path: str, body: bytes) -> bytes:
+    def _respond(self, method: str, path: str, headers: dict, body: bytes) -> bytes:
         """Route one request; every failure becomes the typed envelope."""
-        try:
-            status, payload = self._route(method, path, body)
-        except DiscoveryError as exc:
-            status, payload = exc.status, _error_payload(exc)
-        except FingerprintMismatchError as exc:
-            wrapped = DiscoveryError("fingerprint-mismatch", str(exc))
-            status, payload = wrapped.status, _error_payload(wrapped)
-        except (KeyError, ValueError) as exc:
-            # Catalog-level rejections (duplicate table, bad spec, ...).
-            message = exc.args[0] if exc.args else str(exc)
-            wrapped = bad_request(str(message))
-            status, payload = wrapped.status, _error_payload(wrapped)
-        except Exception as exc:  # noqa: BLE001 — the wire must answer
-            wrapped = DiscoveryError("internal", f"{type(exc).__name__}: {exc}")
-            status, payload = wrapped.status, _error_payload(wrapped)
-        return self._encode_response(status, payload)
+        rid = headers.get("x-request-id") or obs.new_request_id()
+        route_path, _, query = path.partition("?")
+        started = time.perf_counter()
+        with obs.bind_request_id(rid):
+            try:
+                status, payload = self._route(
+                    method, route_path, query, body, headers
+                )
+            except DiscoveryError as exc:
+                status, payload = exc.status, _error_payload(exc)
+            except FingerprintMismatchError as exc:
+                wrapped = DiscoveryError("fingerprint-mismatch", str(exc))
+                status, payload = wrapped.status, _error_payload(wrapped)
+            except (KeyError, ValueError) as exc:
+                # Catalog-level rejections (duplicate table, bad spec, ...).
+                message = exc.args[0] if exc.args else str(exc)
+                wrapped = bad_request(str(message))
+                status, payload = wrapped.status, _error_payload(wrapped)
+            except Exception as exc:  # noqa: BLE001 — the wire must answer
+                wrapped = DiscoveryError("internal", f"{type(exc).__name__}: {exc}")
+                status, payload = wrapped.status, _error_payload(wrapped)
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        if obs.enabled():
+            route = self._route_label(method, route_path)
+            _HTTP_REQUESTS.labels(route=route, status=str(status)).inc()
+            _HTTP_MS.observe(elapsed_ms)
+            access_log.info(
+                "%s",
+                json.dumps(
+                    {
+                        "method": method,
+                        "path": route_path,
+                        "status": status,
+                        "duration_ms": round(elapsed_ms, 3),
+                        "request_id": rid,
+                    },
+                    sort_keys=True,
+                ),
+            )
+        return self._encode_response(
+            status, payload, extra_headers={"X-Request-Id": rid}
+        )
+
+    @staticmethod
+    def _route_label(method: str, path: str) -> str:
+        """Collapse per-resource paths so label cardinality stays bounded."""
+        if path.startswith("/v1/tables/"):
+            path = "/v1/tables/{name}"
+        return f"{method} {path}"
 
     def _decode_body(self, body: bytes) -> dict:
         if not body:
@@ -244,13 +332,27 @@ class LakeServer:
             raise bad_request("request body must be a JSON object")
         return payload
 
-    def _route(self, method: str, path: str, body: bytes):
+    def _route(
+        self,
+        method: str,
+        path: str,
+        query: str,
+        body: bytes,
+        headers: dict | None = None,
+    ):
         if path == "/v1/healthz" and method == "GET":
             return 200, {"status": "ok", "version": API_VERSION}
         if path == "/v1/stats" and method == "GET":
             stats = self.service.stats()
             stats["version"] = API_VERSION
             return 200, stats
+        if path == "/v1/metrics" and method == "GET":
+            return 200, self._metrics_payload(query, (headers or {}).get("accept", ""))
+        if path == "/v1/slow_queries" and method == "GET":
+            return 200, {
+                "version": API_VERSION,
+                "slow_queries": self.service.slow_log.snapshot(),
+            }
         if path == "/v1/query" and method == "POST":
             request = DiscoveryRequest.from_dict(self._decode_body(body))
             return 200, self.service.discover(request).to_dict()
@@ -292,6 +394,31 @@ class LakeServer:
                 "n_tables": len(self.service.catalog),
             }
         raise DiscoveryError("not-found", f"no route for {method} {path}")
+
+    @staticmethod
+    def _metrics_payload(query: str, accept: str):
+        """``/v1/metrics`` content negotiation: JSON unless the caller asks
+        for Prometheus via ``?format=prometheus`` or ``Accept: text/plain``
+        (``?format=json`` overrides the Accept header)."""
+        requested = parse_qs(query).get("format", [""])[0].lower()
+        if requested not in ("", "json", "prometheus"):
+            raise bad_request(
+                f"unknown metrics format {requested!r}; "
+                "expected 'json' or 'prometheus'"
+            )
+        registry = obs.get_registry()
+        prometheus = requested == "prometheus" or (
+            not requested and "text/plain" in accept.lower()
+        )
+        if prometheus:
+            return _TextBody(
+                obs.PROMETHEUS_CONTENT_TYPE, registry.render_prometheus()
+            )
+        return {
+            "version": API_VERSION,
+            "enabled": obs.enabled(),
+            "metrics": registry.collect(),
+        }
 
 
 # --------------------------------------------------------------------- #

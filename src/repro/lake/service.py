@@ -27,6 +27,14 @@ instead of one serial forward per query. A single re-entrant lock
 serializes catalog mutations against reads; queries hold it only around
 shared-state access, which is enough for correctness with the pure-numpy
 index.
+
+Every query runs under a ``lake.discover`` span (:mod:`repro.obs`):
+``lake.sketch`` / ``lake.embed`` / ``lake.index`` children carry the
+stage timings (batched queries attach synthetic amortized children), and
+the response's :class:`~repro.lake.api.Timings` is a pure projection of
+that span tree. Query counters/latency histograms, cache hit/miss/
+eviction counters, and a top-N :class:`~repro.obs.SlowQueryLog` (with
+full span breakdowns) feed ``GET /v1/metrics`` / ``/v1/slow_queries``.
 """
 
 from __future__ import annotations
@@ -50,12 +58,37 @@ from repro.lake.api import (
     join_score,
     table_score,
 )
+from repro import obs
 from repro.core.engine import sketch_corpus
 from repro.lake.catalog import LakeCatalog
 from repro.search.backend import stable_shard
 from repro.search.tables import TableMatch
 from repro.sketch.pipeline import sketch_table
 from repro.table.schema import Table
+
+_QUERIES_TOTAL = obs.counter(
+    "lake_queries_total", "Discovery queries answered, by mode", ("mode",)
+)
+_QUERY_MS = obs.histogram(
+    "lake_query_duration_ms",
+    "End-to-end discover() latency in milliseconds, by mode",
+    ("mode",),
+)
+_CACHE_HITS = obs.counter(
+    "lake_cache_hits_total", "Query-embedding LRU cache hits"
+)
+_CACHE_MISSES = obs.counter(
+    "lake_cache_misses_total", "Query-embedding LRU cache misses"
+)
+_CACHE_EVICTIONS = obs.counter(
+    "lake_cache_evictions_total", "Query-embedding LRU cache evictions"
+)
+#: Label children resolved once — the hot path must not pay a labels()
+#: lookup per query for the three fixed modes.
+_QUERIES_BY_MODE = {
+    mode: _QUERIES_TOTAL.labels(mode=mode) for mode in QUERY_MODES
+}
+_QUERY_MS_BY_MODE = {mode: _QUERY_MS.labels(mode=mode) for mode in QUERY_MODES}
 
 
 def table_digest(table: Table) -> str:
@@ -81,13 +114,16 @@ class _LruCache:
         self._data: OrderedDict[str, list] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, key: str):
         if key in self._data:
             self._data.move_to_end(key)
             self.hits += 1
+            _CACHE_HITS.inc()
             return self._data[key]
         self.misses += 1
+        _CACHE_MISSES.inc()
         return None
 
     def put(self, key: str, value) -> None:
@@ -97,6 +133,8 @@ class _LruCache:
         self._data.move_to_end(key)
         while len(self._data) > self.capacity:
             self._data.popitem(last=False)
+            self.evictions += 1
+            _CACHE_EVICTIONS.inc()
 
     def __contains__(self, key: str) -> bool:
         """Non-counting membership probe (batch planning must not skew the
@@ -115,6 +153,10 @@ class LakeService:
         self._lock = threading.RLock()
         self._cache = _LruCache(cache_size)
         self.query_count = 0
+        #: Tables ingested through this service (adds + updates).
+        self.ingest_count = 0
+        self.slow_log = obs.SlowQueryLog()
+        self._started_at = time.time()
 
     # ------------------------------------------------------------------ #
     def fingerprint(self) -> str | None:
@@ -173,14 +215,15 @@ class LakeService:
             pairs = self._cache.get(key)
         diag: dict = {"member": False, "cache_hit": pairs is not None}
         if pairs is None:
-            started = time.perf_counter()
-            table_sketch = sketch_table(
-                query, self.catalog.sketch_config, self.catalog._hasher
-            )
-            sketched = time.perf_counter()
-            pairs = self.catalog.column_vector_pairs(query, table_sketch)
-            diag["sketch_ms"] = 1000.0 * (sketched - started)
-            diag["embed_ms"] = 1000.0 * (time.perf_counter() - sketched)
+            # The stage spans attach to the caller's ``lake.discover`` root
+            # through the contextvar — the Timings projection reads them
+            # back as ``child_sum("lake.sketch")`` / ``("lake.embed")``.
+            with obs.span("lake.sketch"):
+                table_sketch = sketch_table(
+                    query, self.catalog.sketch_config, self.catalog._hasher
+                )
+            with obs.span("lake.embed"):
+                pairs = self.catalog.column_vector_pairs(query, table_sketch)
             with self._lock:
                 self._cache.put(key, pairs)
         with self._lock:
@@ -268,37 +311,56 @@ class LakeService:
         CLI, and the HTTP server all route here, so a request answered
         in-process and the same request answered over the wire return the
         same ranked ``(table, score)`` hits.
+
+        The whole call runs under a ``lake.discover`` span whose children
+        (``lake.sketch`` / ``lake.embed`` / ``lake.index``) carry the
+        stage timings; the response's :class:`Timings` is a projection of
+        that span tree (same fields as the old ``perf_counter`` pairs —
+        ``lake.index`` wraps the index search only, not hit building).
         """
         request = request.validated()
-        started = time.perf_counter()
-        self._check_fingerprint(request)
-        pairs, exclude, diag = (
-            _resolved if _resolved is not None else self._resolve(request)
-        )
-        with self._lock:
-            self.query_count += 1
-            index_started = time.perf_counter()
-            matches = self._search(request, pairs, exclude)
-            index_ms = 1000.0 * (time.perf_counter() - index_started)
-            hits, dropped = self._build_hits(request, matches)
-            diagnostics = {
-                "member": diag.get("member", False),
-                "cache_hit": diag.get("cache_hit"),
-                "excluded": exclude,
-                "backend": self.catalog.index_spec.canonical(),
-                "n_shards": self.catalog.n_shards,
-                "candidates": len(matches),
-                "filtered": dropped,
-            }
-            if diag.get("batched"):
-                diagnostics["batched"] = diag["batched"]
+        with obs.span("lake.discover", mode=request.mode) as root:
+            self._check_fingerprint(request)
+            pairs, exclude, diag = (
+                _resolved if _resolved is not None else self._resolve(request)
+            )
+            # Batched resolution happened outside this trace: attach each
+            # query's amortized share of the one batched pass as synthetic
+            # children, so the projection below stays uniform.
+            if "sketch_ms" in diag:
+                root.add_child_duration(
+                    "lake.sketch", diag["sketch_ms"], amortized=True
+                )
+            if "embed_ms" in diag:
+                root.add_child_duration(
+                    "lake.embed", diag["embed_ms"], amortized=True
+                )
+            with self._lock:
+                self.query_count += 1
+                with obs.span("lake.index"):
+                    matches = self._search(request, pairs, exclude)
+                hits, dropped = self._build_hits(request, matches)
+                diagnostics = {
+                    "member": diag.get("member", False),
+                    "cache_hit": diag.get("cache_hit"),
+                    "excluded": exclude,
+                    "backend": self.catalog.index_spec.canonical(),
+                    "n_shards": self.catalog.n_shards,
+                    "candidates": len(matches),
+                    "filtered": dropped,
+                }
+                if diag.get("batched"):
+                    diagnostics["batched"] = diag["batched"]
+            request_id = obs.request_id()
+            if request_id is not None:
+                diagnostics["request_id"] = request_id
         timings = Timings(
-            sketch_ms=diag.get("sketch_ms", 0.0),
-            embed_ms=diag.get("embed_ms", 0.0),
-            index_ms=index_ms,
-            total_ms=1000.0 * (time.perf_counter() - started),
+            sketch_ms=root.child_sum("lake.sketch"),
+            embed_ms=root.child_sum("lake.embed"),
+            index_ms=root.child_sum("lake.index"),
+            total_ms=root.duration_ms,
         )
-        return DiscoveryResult(
+        result = DiscoveryResult(
             version=API_VERSION,
             mode=request.mode,
             k=request.k,
@@ -306,6 +368,46 @@ class LakeService:
             hits=hits,
             timings=timings,
             diagnostics=diagnostics,
+        )
+        self._observe_query(request, root, timings, diagnostics)
+        return result
+
+    def _observe_query(
+        self,
+        request: DiscoveryRequest,
+        root: obs.Span,
+        timings: Timings,
+        diagnostics: dict,
+    ) -> None:
+        """Record one answered query into metrics + the slow-query log.
+
+        The histogram observes the *exact* ``timings.total_ms`` the
+        response carries, so the exposition's ``lake_query_duration_ms``
+        sum reconciles with summed per-response totals by construction.
+        """
+        if not obs.enabled():
+            return
+        mode = request.mode
+        counter = _QUERIES_BY_MODE.get(mode) or _QUERIES_TOTAL.labels(mode=mode)
+        histogram = _QUERY_MS_BY_MODE.get(mode) or _QUERY_MS.labels(mode=mode)
+        counter.inc()
+        histogram.observe(timings.total_ms)
+        # The span-tree dict is the expensive part of an entry; only build
+        # it for queries slow enough to displace the current top-N.
+        if not self.slow_log.would_record(timings.total_ms):
+            return
+        self.slow_log.record(
+            {
+                "query": request.query_name,
+                "mode": request.mode,
+                "k": request.k,
+                "member": diagnostics.get("member", False),
+                "cache_hit": diagnostics.get("cache_hit"),
+                "request_id": diagnostics.get("request_id"),
+                "total_ms": timings.total_ms,
+                "timings": timings.to_dict(),
+                "spans": root.to_dict(),
+            }
         )
 
     def discover_batch(
@@ -353,20 +455,24 @@ class LakeService:
         shared_diag: dict[str, dict] = {}
         if todo:
             tables = list(todo.values())
-            started = time.perf_counter()
-            sketches = sketch_corpus(
-                tables, self.catalog.sketch_config, self.catalog._hasher
-            )
-            sketched = time.perf_counter()
-            pairs_list = self.catalog.column_vector_pairs_many(tables, sketches)
-            embedded = time.perf_counter()
-            # Amortized per-query share of the one batched pass.
-            sketch_ms = 1000.0 * (sketched - started) / len(tables)
-            embed_ms = 1000.0 * (embedded - sketched) / len(tables)
+            with obs.span("lake.sketch_batch", tables=len(tables)) as sketching:
+                sketches = sketch_corpus(
+                    tables, self.catalog.sketch_config, self.catalog._hasher
+                )
+            with obs.span("lake.embed_batch", tables=len(tables)) as embedding:
+                pairs_list = self.catalog.column_vector_pairs_many(
+                    tables, sketches
+                )
+            # Amortized per-query share of the one batched pass; each
+            # request's ``lake.discover`` root re-attaches its share as a
+            # synthetic child (see :meth:`discover`).
+            sketch_ms = sketching.duration_ms / len(tables)
+            embed_ms = embedding.duration_ms / len(tables)
             with self._lock:
                 for digest, pairs in zip(todo, pairs_list):
                     self._cache.put(digest, pairs)
                     self._cache.misses += 1  # it *was* a miss, batched or not
+                    _CACHE_MISSES.inc()
                     precomputed[digest] = pairs
                     shared_diag[digest] = {
                         "member": False,
@@ -463,7 +569,9 @@ class LakeService:
     # ------------------------------------------------------------------ #
     def add_table(self, table: Table):
         with self._lock:
-            return self.catalog.add_table(table)
+            record = self.catalog.add_table(table)
+            self.ingest_count += 1
+            return record
 
     def add_tables(
         self,
@@ -477,12 +585,14 @@ class LakeService:
         across ``ingest_workers`` threads along with sketching and the
         per-shard store writes."""
         with self._lock:
-            return self.catalog.add_tables(
+            records = self.catalog.add_tables(
                 tables,
                 batch_size=batch_size,
                 sketch_workers=sketch_workers,
                 ingest_workers=ingest_workers,
             )
+            self.ingest_count += len(records)
+            return records
 
     def remove_table(self, name: str) -> bool:
         with self._lock:
@@ -490,7 +600,9 @@ class LakeService:
 
     def update_table(self, table: Table):
         with self._lock:
-            return self.catalog.update_table(table)
+            record = self.catalog.update_table(table)
+            self.ingest_count += 1
+            return record
 
     # ------------------------------------------------------------------ #
     def stats(self) -> dict:
@@ -512,14 +624,21 @@ class LakeService:
                 shard_tables = [0] * n_shards
                 for name in self.catalog.records:
                     shard_tables[stable_shard(name, n_shards)] += 1
+            hits, misses = self._cache.hits, self._cache.misses
+            lookups = hits + misses
             stats.update(
                 {
                     "api_version": API_VERSION,
                     "fingerprint": self.fingerprint(),
+                    "uptime_s": time.time() - self._started_at,
                     "queries_served": self.query_count,
+                    "queries_total": self.query_count,
+                    "ingests_total": self.ingest_count,
                     "cache_entries": len(self._cache),
-                    "cache_hits": self._cache.hits,
-                    "cache_misses": self._cache.misses,
+                    "cache_hits": hits,
+                    "cache_misses": misses,
+                    "cache_evictions": self._cache.evictions,
+                    "cache_hit_rate": (hits / lookups) if lookups else None,
                     "shard_tables": shard_tables,
                 }
             )

@@ -66,6 +66,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro import obs
 from repro.lake.serialization import (
     FORMAT_VERSION,
     FingerprintMismatchError,
@@ -98,6 +99,18 @@ ENV_SHARDS = "REPRO_LAKE_SHARDS"
 #: Sort key for sharded entries that predate seq stamping (defensive; the
 #: sharded writer always stamps one) — they sort after every stamped entry.
 _NO_SEQ = 1 << 62
+
+_FLUSH_BYTES = obs.counter(
+    "lake_store_flush_bytes_total",
+    "Bytes written to table archives, by shard",
+    ("shard",),
+)
+_FLUSH_MS = obs.histogram(
+    "lake_store_flush_duration_ms",
+    "Store flush latency in milliseconds (table saves and index saves), "
+    "by shard",
+    ("shard",),
+)
 
 
 def default_n_shards() -> int:
@@ -143,10 +156,15 @@ class LakeShard:
     writes live in :class:`LakeStore`.
     """
 
-    def __init__(self, root: str | os.PathLike, fingerprint: str):
+    def __init__(
+        self, root: str | os.PathLike, fingerprint: str, shard_id: int = 0
+    ):
         self.root = ensure_dir(root)
         ensure_dir(self.root / TABLES_DIR)
         self.fingerprint = fingerprint
+        #: Position in the owning store's shard list (0 for flat lakes) —
+        #: the ``shard`` label on this shard's flush metrics.
+        self.shard_id = int(shard_id)
         manifest_path = self.root / MANIFEST_NAME
         if manifest_path.exists():
             manifest = read_json(manifest_path)
@@ -215,6 +233,8 @@ class LakeShard:
         arrays["column_vectors"] = np.asarray(record.column_vectors, dtype=np.float64)
         arrays["table_embedding"] = np.asarray(record.table_embedding, dtype=np.float64)
         np.savez(self.root / file_rel, **arrays)
+        disk_bytes = int((self.root / file_rel).stat().st_size)
+        _FLUSH_BYTES.labels(shard=str(self.shard_id)).inc(disk_bytes)
         fields = {
             "name": record.name,
             "file": file_rel,
@@ -222,7 +242,7 @@ class LakeShard:
             "n_rows": int(record.n_rows),
             "n_cols": len(record.column_names),
             # Recorded at write time so stats() never has to stat the file.
-            "disk_bytes": int((self.root / file_rel).stat().st_size),
+            "disk_bytes": disk_bytes,
             "metadata": record.metadata,
         }
         if existing is None:
@@ -245,19 +265,24 @@ class LakeShard:
 
     def save_table(self, record: LakeTableRecord, seq: int | None = None) -> None:
         """Write one table's artifacts; replaces any same-named entry."""
-        self._write_table(record, seq=seq)
-        self._flush()
+        with obs.span("store.flush", shard=self.shard_id) as flush:
+            self._write_table(record, seq=seq)
+            self._flush()
+        _FLUSH_MS.labels(shard=str(self.shard_id)).observe(flush.duration_ms)
 
     def save_tables(
         self, records: list[LakeTableRecord], seqs: list[int | None] | None = None
     ) -> None:
         """Bulk save with a single manifest flush (ingest-scale writes)."""
+        if not records:
+            return
         if seqs is None:
             seqs = [None] * len(records)
-        for record, seq in zip(records, seqs):
-            self._write_table(record, seq=seq)
-        if records:
+        with obs.span("store.flush", shard=self.shard_id) as flush:
+            for record, seq in zip(records, seqs):
+                self._write_table(record, seq=seq)
             self._flush()
+        _FLUSH_MS.labels(shard=str(self.shard_id)).observe(flush.duration_ms)
 
     def load_table(self, name: str) -> LakeTableRecord:
         entry = self._entry(name)
@@ -309,6 +334,11 @@ class LakeShard:
         ride in the manifest, so a layout change or a crash between the
         table and index flushes can never be misread as a valid index.
         """
+        with obs.span("store.flush_index", shard=self.shard_id) as flush:
+            self._save_index(index, spec)
+        _FLUSH_MS.labels(shard=str(self.shard_id)).observe(flush.duration_ms)
+
+    def _save_index(self, index: VectorIndex, spec: IndexSpec) -> None:
         arrays, meta = index.state_arrays()
         keys = index.state_keys()
         arrays = dict(arrays)
@@ -524,7 +554,9 @@ class LakeStore:
         for k in range(self.n_shards):
             shard_root = self.root / SHARDS_DIR / f"s{k:03d}"
             try:
-                self.shards.append(LakeShard(shard_root, self.fingerprint))
+                self.shards.append(
+                    LakeShard(shard_root, self.fingerprint, shard_id=k)
+                )
             except FingerprintMismatchError:
                 raise
             except (ValueError, KeyError, OSError) as exc:
@@ -538,9 +570,9 @@ class LakeStore:
                     RuntimeWarning,
                     stacklevel=2,
                 )
-                self.shards.append(self._reset_shard_dir(shard_root))
+                self.shards.append(self._reset_shard_dir(shard_root, k))
 
-    def _reset_shard_dir(self, shard_root: Path) -> LakeShard:
+    def _reset_shard_dir(self, shard_root: Path, shard_id: int = 0) -> LakeShard:
         for name in (MANIFEST_NAME, "manifest.tmp.json", INDEX_NAME, "index.tmp.npz"):
             path = shard_root / name
             if path.exists():
@@ -549,7 +581,7 @@ class LakeStore:
         if tables_dir.exists():
             for stale in tables_dir.glob("*.npz"):
                 stale.unlink()
-        return LakeShard(shard_root, self.fingerprint)
+        return LakeShard(shard_root, self.fingerprint, shard_id=shard_id)
 
     def _flush_top(self) -> None:
         path = self.root / MANIFEST_NAME

@@ -1,0 +1,45 @@
+"""The process-wide observability gate.
+
+One boolean, read on every metric/log recording: when off, counters,
+gauges, histograms, the slow-query log, and access-log lines all become
+no-ops. **Spans are never gated** — they are the timing source the
+Discovery API's :class:`~repro.lake.api.Timings` is projected from, so
+they must stay live (they replace the ad-hoc ``perf_counter`` pairs the
+service used to pay unconditionally; their cost is the baseline, not
+overhead).
+
+The default comes from ``$REPRO_OBS_ENABLED`` (unset/anything truthy =
+on; ``0``/``false``/``no``/``off`` = off); :func:`set_enabled` flips it
+at runtime — the lever ``bench_obs_overhead.py`` uses to measure the
+instrumentation's cost against its own absence.
+"""
+
+from __future__ import annotations
+
+import os
+
+ENV_ENABLED = "REPRO_OBS_ENABLED"
+
+_FALSEY = ("0", "false", "no", "off")
+
+
+def _env_enabled() -> bool:
+    raw = os.environ.get(ENV_ENABLED, "").strip().lower()
+    if not raw:
+        return True
+    return raw not in _FALSEY
+
+
+_enabled: bool = _env_enabled()
+
+
+def enabled() -> bool:
+    """Is metric/log recording currently on?"""
+    return _enabled
+
+
+def set_enabled(value: bool) -> bool:
+    """Flip the recording gate; returns the new state."""
+    global _enabled
+    _enabled = bool(value)
+    return _enabled

@@ -37,8 +37,25 @@ from typing import Callable, Iterable, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
+from repro import obs
+
 #: Bumped whenever a backend's ``state_arrays`` layout changes shape.
 INDEX_STATE_VERSION = 1
+
+# Same family index.py / hnsw.py register (registration is idempotent),
+# plus the merge-pass histogram only the sharded face owns.
+_QUERIES = obs.counter(
+    "index_queries_total", "Vector-index query rows answered, by backend", ("backend",)
+).labels(backend="sharded")
+_QUERY_MS = obs.histogram(
+    "index_query_duration_ms",
+    "Vector-index query_many latency in milliseconds, by backend",
+    ("backend",),
+).labels(backend="sharded")
+_MERGE_MS = obs.histogram(
+    "index_merge_duration_ms",
+    "Sharded-index k-way merge latency in milliseconds, per query_many call",
+)
 
 
 @runtime_checkable
@@ -415,15 +432,26 @@ class ShardedIndex:
         n_queries = queries.shape[0]
         if k <= 0 or n_queries == 0:
             return [[] for _ in range(n_queries)]
-        per_sub = [sub.query_many(queries, k) for sub in self.subs if len(sub)]
-        if not per_sub:
-            return [[] for _ in range(n_queries)]
-        if len(per_sub) == 1:
-            return per_sub[0]
-        return [
-            list(islice(heapq.merge(*rows, key=lambda hit: hit[1]), k))
-            for rows in zip(*per_sub)
-        ]
+        with obs.span("index.query", backend="sharded", shards=len(self.subs)) as timed:
+            per_sub = [sub.query_many(queries, k) for sub in self.subs if len(sub)]
+            if not per_sub:
+                results: list[list[tuple[object, float]]] = [
+                    [] for _ in range(n_queries)
+                ]
+            elif len(per_sub) == 1:
+                results = per_sub[0]
+            else:
+                with obs.span("index.merge", shards=len(per_sub)) as merge:
+                    results = [
+                        list(islice(heapq.merge(*rows, key=lambda hit: hit[1]), k))
+                        for rows in zip(*per_sub)
+                    ]
+                if obs.enabled():
+                    _MERGE_MS.observe(merge.duration_ms)
+        if obs.enabled():
+            _QUERIES.inc(n_queries)
+            _QUERY_MS.observe(timed.duration_ms)
+        return results
 
     def query(self, vector: np.ndarray, k: int) -> list[tuple[object, float]]:
         return self.query_many(np.asarray(vector, dtype=np.float64)[None, :], k)[0]

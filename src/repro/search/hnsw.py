@@ -29,7 +29,19 @@ import math
 
 import numpy as np
 
+from repro import obs
 from repro.utils.rng import spawn_rng
+
+# Same metric family the exact backend registers; registration is
+# idempotent, so whichever module imports first wins the definition.
+_QUERIES = obs.counter(
+    "index_queries_total", "Vector-index query rows answered, by backend", ("backend",)
+).labels(backend="hnsw")
+_QUERY_MS = obs.histogram(
+    "index_query_duration_ms",
+    "Vector-index query_many latency in milliseconds, by backend",
+    ("backend",),
+).labels(backend="hnsw")
 
 
 class HnswIndex:
@@ -312,7 +324,12 @@ class HnswIndex:
         ``query_many`` run unchanged on either backend.
         """
         queries = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
-        return [self.query(row, k, ef=ef) for row in queries]
+        with obs.span("index.query", backend="hnsw") as timed:
+            results = [self.query(row, k, ef=ef) for row in queries]
+        if obs.enabled():
+            _QUERIES.inc(len(results))
+            _QUERY_MS.observe(timed.duration_ms)
+        return results
 
     # ------------------------------------------------------------------ #
     def state_keys(self) -> list:

@@ -26,8 +26,21 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro import obs
+
 #: Smallest non-zero row capacity allocated by the growable buffer.
 _MIN_CAPACITY = 8
+
+# Shared across backends; registration is idempotent, so hnsw.py and
+# backend.py resolve the same metrics without importing this module.
+_QUERIES = obs.counter(
+    "index_queries_total", "Vector-index query rows answered, by backend", ("backend",)
+).labels(backend="exact")
+_QUERY_MS = obs.histogram(
+    "index_query_duration_ms",
+    "Vector-index query_many latency in milliseconds, by backend",
+    ("backend",),
+).labels(backend="exact")
 
 
 class KnnIndex:
@@ -124,6 +137,16 @@ class KnnIndex:
         each row's top-k — the vectorized form of q separate ``query``
         calls, with identical results.
         """
+        with obs.span("index.query", backend="exact") as timed:
+            results = self._query_many(matrix, k)
+        if obs.enabled():
+            _QUERIES.inc(len(results))
+            _QUERY_MS.observe(timed.duration_ms)
+        return results
+
+    def _query_many(
+        self, matrix: np.ndarray, k: int
+    ) -> list[list[tuple[object, float]]]:
         queries = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
         if queries.ndim != 2 or queries.shape[1] != self.dim:
             raise ValueError(

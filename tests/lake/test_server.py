@@ -183,6 +183,106 @@ def test_remove_missing_table_is_404(served):
 
 
 # --------------------------------------------------------------------- #
+# Observability over the wire
+# --------------------------------------------------------------------- #
+def test_request_id_round_trip_matches_in_process(served, lake_tables):
+    """One request id correlates the HTTP exchange with the diagnostics an
+    in-process caller binding the same id would see."""
+    from repro import obs
+
+    service, client = served
+    request = DiscoveryRequest(mode="union", k=4, table="g1t1")
+    rid = "parity-rid-0001"
+
+    remote = client.query(request, request_id=rid)
+    assert client.last_request_id == rid
+    assert remote.diagnostics["request_id"] == rid
+
+    with obs.bind_request_id(rid):
+        local = service.discover(request)
+    assert local.diagnostics["request_id"] == rid
+    assert remote.diagnostics["request_id"] == local.diagnostics["request_id"]
+
+    # Without a caller-supplied id the client mints one and the server
+    # echoes it back on the response header.
+    client.query(request)
+    assert client.last_request_id is not None
+    assert client.last_request_id != rid
+
+
+def test_request_id_echo_on_raw_http(served):
+    _, client = served
+    conn = http.client.HTTPConnection(client.host, client.port, timeout=30)
+    try:
+        conn.request("GET", "/v1/healthz", headers={"X-Request-Id": "raw-7"})
+        response = conn.getresponse()
+        response.read()
+        assert response.getheader("X-Request-Id") == "raw-7"
+        # No stamp -> the server generates one.
+        conn.request("GET", "/v1/healthz")
+        response = conn.getresponse()
+        response.read()
+        generated = response.getheader("X-Request-Id")
+        assert generated and generated != "raw-7"
+    finally:
+        conn.close()
+
+
+def test_metrics_endpoint_negotiation_and_counters(served, lake_tables):
+    from repro import obs
+
+    service, client = served
+    registry = obs.get_registry()
+    registry.reset()
+
+    request = DiscoveryRequest(mode="union", k=4, table="g1t1")
+    client.query(request)
+    payload = client.metrics()
+    assert payload["version"] == API_VERSION
+    counter = payload["metrics"]["lake_queries_total"]
+    assert counter["type"] == "counter"
+    first = sum(value["value"] for value in counter["values"])
+    assert first >= 1
+
+    # A second query moves the counter — across the wire.
+    client.query(request)
+    counter = client.metrics()["metrics"]["lake_queries_total"]
+    assert sum(value["value"] for value in counter["values"]) == first + 1
+
+    # Prometheus negotiation: explicit format param and Accept header.
+    text = client.metrics_text()
+    assert "# TYPE lake_queries_total counter" in text
+    assert "lake_query_duration_ms_bucket" in text
+    conn = http.client.HTTPConnection(client.host, client.port, timeout=30)
+    try:
+        conn.request("GET", "/v1/metrics", headers={"Accept": "text/plain"})
+        response = conn.getresponse()
+        body = response.read().decode("utf-8")
+        assert response.getheader("Content-Type") == obs.PROMETHEUS_CONTENT_TYPE
+        assert body == client.metrics_text() or "lake_queries_total" in body
+        conn.request("GET", "/v1/metrics?format=bogus")
+        response = conn.getresponse()
+        assert response.status == 400
+        response.read()
+    finally:
+        conn.close()
+
+
+def test_slow_queries_endpoint(served):
+    service, client = served
+    service.slow_log.clear()
+    for name in ("g0t0", "g1t0"):
+        client.query(DiscoveryRequest(mode="union", k=4, table=name))
+    entries = client.slow_queries()
+    assert len(entries) == 2
+    totals = [entry["total_ms"] for entry in entries]
+    assert totals == sorted(totals, reverse=True)
+    for entry in entries:
+        assert entry["spans"]["name"] == "lake.discover"
+        assert entry["request_id"]  # the wire always binds one
+
+
+# --------------------------------------------------------------------- #
 # Remote ingest / stats
 # --------------------------------------------------------------------- #
 def test_remote_ingest_remove_and_stats(served, lake_tables):

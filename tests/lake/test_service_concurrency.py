@@ -24,6 +24,8 @@ import threading
 
 import pytest
 
+from repro import obs
+from repro.lake.api import DiscoveryRequest
 from repro.lake.catalog import LakeCatalog
 from repro.lake.service import LakeService
 from repro.lake.store import LakeStore
@@ -166,3 +168,55 @@ def test_concurrent_queries_during_sequential_mutations(
     for thread in threads:
         thread.join()
     assert not errors, f"raced: {errors!r}"
+
+
+def test_span_trees_stay_per_thread_under_contention(
+    lake_embedder, lake_tables
+):
+    """8 threads querying one service concurrently: every thread's
+    ``lake.discover`` span tree holds exactly its own stages (contextvar
+    isolation), every child finished before its root, and the response's
+    ``Timings`` is the projection of that thread's tree — never a blend
+    of another worker's clock."""
+    service = LakeService(LakeCatalog(lake_embedder))
+    service.add_tables(lake_tables)
+    names = list(lake_tables)
+
+    errors: list = []
+    barrier = threading.Barrier(N_THREADS)
+
+    def worker(thread_id: int) -> None:
+        try:
+            barrier.wait()
+            for i in range(6):
+                name = names[(thread_id + i) % len(names)]
+                with obs.span(f"harness.t{thread_id}") as root:
+                    result = service.discover(
+                        DiscoveryRequest(mode="union", k=4, table=name)
+                    )
+                # Parent/child invariants on this thread's tree only.
+                assert [c.name for c in root.children] == ["lake.discover"]
+                discover = root.children[0]
+                assert root.duration_ms >= discover.duration_ms > 0.0
+                child_names = {c.name for c in discover.children}
+                assert child_names <= {"lake.sketch", "lake.embed", "lake.index"}
+                for child in discover.children:
+                    assert child.duration_ms is not None
+                    assert child.duration_ms <= discover.duration_ms
+                # Timings is a projection of *this* tree, byte-identical.
+                timings = result.timings
+                assert timings.total_ms == discover.duration_ms
+                assert timings.sketch_ms == discover.child_sum("lake.sketch")
+                assert timings.embed_ms == discover.child_sum("lake.embed")
+                assert timings.index_ms == discover.child_sum("lake.index")
+        except BaseException as exc:  # noqa: BLE001 — collected for report
+            errors.append((thread_id, exc))
+
+    threads = [
+        threading.Thread(target=worker, args=(tid,)) for tid in range(N_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, f"workers raised: {errors!r}"

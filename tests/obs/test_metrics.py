@@ -1,0 +1,206 @@
+"""`repro.obs.metrics`: registry semantics, quantiles, and the exposition."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture()
+def registry() -> MetricsRegistry:
+    """A private registry — tests never touch the process default."""
+    return MetricsRegistry()
+
+
+# --------------------------------------------------------------------- #
+# Counters / gauges
+# --------------------------------------------------------------------- #
+def test_counter_counts_and_sums_labels(registry):
+    queries = registry.counter("q_total", "queries", ("mode",))
+    queries.labels(mode="join").inc()
+    queries.labels(mode="union").inc(2)
+    assert queries.value == 3.0
+    values = {
+        tuple(v["labels"].items()): v["value"]
+        for v in queries.collect()["values"]
+    }
+    assert values == {(("mode", "join"),): 1.0, (("mode", "union"),): 2.0}
+
+
+def test_counter_rejects_negative_and_labeled_bare_inc(registry):
+    plain = registry.counter("plain_total")
+    with pytest.raises(ValueError):
+        plain.inc(-1)
+    labeled = registry.counter("labeled_total", labelnames=("mode",))
+    with pytest.raises(ValueError):
+        labeled.inc()
+    with pytest.raises(ValueError):
+        labeled.labels(wrong="x")
+
+
+def test_gauge_set_inc_dec(registry):
+    depth = registry.gauge("depth")
+    depth.set(5)
+    depth.inc(2)
+    depth.dec()
+    assert depth.collect()["values"][0]["value"] == 6.0
+
+
+def test_registration_is_idempotent_but_typed(registry):
+    first = registry.counter("shared_total", "first wins", ("backend",))
+    again = registry.counter("shared_total", "ignored", ("backend",))
+    assert again is first
+    assert first.description == "first wins"
+    with pytest.raises(ValueError):
+        registry.gauge("shared_total")
+    with pytest.raises(ValueError):
+        registry.counter("shared_total", labelnames=("other",))
+
+
+def test_invalid_names_rejected(registry):
+    with pytest.raises(ValueError):
+        registry.counter("1bad")
+    with pytest.raises(ValueError):
+        registry.counter("ok_total", labelnames=("le-gal",))
+
+
+# --------------------------------------------------------------------- #
+# Histograms
+# --------------------------------------------------------------------- #
+def test_histogram_buckets_and_totals(registry):
+    lat = registry.histogram("lat_ms", buckets=(1.0, 10.0, 100.0))
+    for value in (0.5, 1.0, 5.0, 50.0, 500.0):
+        lat.observe(value)
+    snap = lat.collect()["values"][0]
+    # le semantics: 1.0 lands in the <=1 bucket, 500 in +Inf.
+    assert snap["buckets"] == {"1": 2, "10": 3, "100": 4, "+Inf": 5}
+    assert snap["count"] == 5
+    assert snap["sum"] == pytest.approx(556.5)
+
+
+def test_histogram_quantiles_match_numpy(registry):
+    """With unit-width buckets the interpolation error is bounded by one
+    bucket, so the estimates track ``numpy.percentile`` closely."""
+    edges = tuple(float(e) for e in range(1, 201))
+    hist = registry.histogram("fine_ms", buckets=edges)
+    rng = np.random.default_rng(7)
+    samples = rng.uniform(0.0, 200.0, size=5000)
+    for value in samples:
+        hist.observe(float(value))
+    for q in (0.50, 0.95, 0.99):
+        estimate = hist.quantile(q)
+        exact = float(np.percentile(samples, 100 * q))
+        assert estimate == pytest.approx(exact, abs=1.0)
+
+
+def test_histogram_quantile_edge_cases(registry):
+    hist = registry.histogram("edge_ms", buckets=(1.0, 2.0))
+    assert hist.quantile(0.5) is None  # empty
+    hist.observe(100.0)  # +Inf bucket clamps to the last finite edge
+    assert hist.quantile(0.99) == 2.0
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+
+
+def test_histogram_rejects_bad_buckets(registry):
+    with pytest.raises(ValueError):
+        registry.histogram("bad_ms", buckets=())
+    with pytest.raises(ValueError):
+        registry.histogram("bad_ms", buckets=(2.0, 1.0))
+    with pytest.raises(ValueError):
+        registry.histogram("bad_ms", buckets=(1.0, 1.0, 2.0))
+
+
+# --------------------------------------------------------------------- #
+# Prometheus text exposition (golden)
+# --------------------------------------------------------------------- #
+def test_prometheus_exposition_golden(registry):
+    queries = registry.counter("lake_q_total", "Queries answered", ("mode",))
+    queries.labels(mode="join").inc(3)
+    queries.labels(mode="union").inc(1)
+    depth = registry.gauge("pool_depth", "Busy workers")
+    depth.set(2)
+    lat = registry.histogram("q_ms", "Latency", buckets=(0.5, 1.0, 5.0))
+    for value in (0.25, 0.75, 2.0, 20.5):
+        lat.observe(value)
+    expected = "\n".join(
+        [
+            "# HELP lake_q_total Queries answered",
+            "# TYPE lake_q_total counter",
+            'lake_q_total{mode="join"} 3',
+            'lake_q_total{mode="union"} 1',
+            "# HELP pool_depth Busy workers",
+            "# TYPE pool_depth gauge",
+            "pool_depth 2",
+            "# HELP q_ms Latency",
+            "# TYPE q_ms histogram",
+            'q_ms_bucket{le="0.5"} 1',
+            'q_ms_bucket{le="1"} 2',
+            'q_ms_bucket{le="5"} 3',
+            'q_ms_bucket{le="+Inf"} 4',
+            "q_ms_sum 23.5",
+            "q_ms_count 4",
+        ]
+    ) + "\n"
+    assert registry.render_prometheus() == expected
+
+
+def test_prometheus_label_escaping(registry):
+    oddity = registry.counter("odd_total", "odd", ("name",))
+    oddity.labels(name='a"b\\c\nd').inc()
+    line = registry.render_prometheus().splitlines()[-1]
+    assert line == 'odd_total{name="a\\"b\\\\c\\nd"} 1'
+
+
+# --------------------------------------------------------------------- #
+# Threads, reset, and the gate
+# --------------------------------------------------------------------- #
+def test_concurrent_increments_are_exact(registry):
+    counter = registry.counter("threads_total")
+    hist = registry.histogram("threads_ms", buckets=(10.0,))
+    threads, per_thread = 8, 2000
+
+    def work() -> None:
+        for _ in range(per_thread):
+            counter.inc()
+            hist.observe(1.0)
+
+    pool = [threading.Thread(target=work) for _ in range(threads)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    assert counter.value == threads * per_thread
+    assert hist.total_count == threads * per_thread
+    assert hist.total_sum == pytest.approx(threads * per_thread)
+
+
+def test_reset_zeroes_but_keeps_registrations(registry):
+    counter = registry.counter("reset_total", labelnames=("mode",))
+    counter.labels(mode="join").inc(4)
+    registry.reset()
+    assert counter.value == 0.0
+    assert registry.get("reset_total") is counter
+    # The label child survives and keeps recording.
+    counter.labels(mode="join").inc()
+    assert counter.value == 1.0
+
+
+def test_disabled_gate_stops_recording(registry):
+    counter = registry.counter("gated_total")
+    hist = registry.histogram("gated_ms")
+    obs.set_enabled(False)
+    try:
+        counter.inc()
+        hist.observe(3.0)
+    finally:
+        obs.set_enabled(True)
+    assert counter.value == 0.0
+    assert hist.total_count == 0
+    counter.inc()
+    assert counter.value == 1.0
