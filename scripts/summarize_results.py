@@ -31,6 +31,7 @@ EXPERIMENT_ORDER = [
     "sketch_micro",
     "lake_service",
     "embed_engine",
+    "lazy_fusion",
     "index_backends",
     "sharded_lake",
     "discovery_api",
