@@ -1,0 +1,212 @@
+"""CI smoke for the replicated serving path — the whole loop, for real.
+
+Builds a tiny lake from generated CSVs via the CLI (through the spawn-pool
+ingest path, ``--ingest-procs 2``), publishes a snapshot generation, starts
+two ``python -m repro.lake replica`` subprocesses and one ``frontend``
+subprocess on ephemeral ports, then asserts through the frontend:
+
+- ranked hits byte-identical to the in-process leader for the same
+  ``DiscoveryRequest`` (all three modes), every answer stamped with the
+  serving generation + fingerprint;
+- the ``/v1/replicas`` handshake shows both backends taking traffic;
+- mutations are refused with the typed read-only ``bad-request``;
+- after the leader ingests one more table and publishes generation 2, the
+  polling replicas adopt it and the frontend serves the new table;
+- all three processes shut down cleanly on SIGINT.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/replica_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.lake.api import DiscoveryError, DiscoveryRequest  # noqa: E402
+from repro.lake.client import LakeClient  # noqa: E402
+from repro.lake.__main__ import _load_service, main as lake_cli  # noqa: E402
+from repro.table.csvio import write_csv  # noqa: E402
+from repro.table.schema import table_from_rows  # noqa: E402
+
+MODES = ("join", "union", "subset")
+STARTUP_TIMEOUT_S = 60.0
+ADOPTION_TIMEOUT_S = 30.0
+
+
+def _make_table(name: str, group: int, n_rows: int):
+    rows = [
+        [f"grp{group}v{i}", str((group + 1) * i), f"tag{i % 3}"]
+        for i in range(n_rows)
+    ]
+    return table_from_rows(
+        name, ["entity", "count", "tag"], rows, description=f"group {group}"
+    )
+
+
+def build_lake(root: Path) -> tuple[str, Path]:
+    csv_dir = root / "csvs"
+    for group in range(2):
+        for member in range(3):
+            name = f"g{group}t{member}"
+            write_csv(
+                _make_table(name, group, 18 + member), csv_dir / f"{name}.csv"
+            )
+    lake = str(root / "lake")
+    lake_cli([
+        "ingest", "--lake", lake, "--csv-dir", str(csv_dir),
+        "--num-perm", "16", "--dim", "32", "--vocab-size", "400",
+        "--ingest-procs", "2",
+    ])
+    return lake, csv_dir
+
+
+def start_process(args: list[str], banner: str) -> tuple[subprocess.Popen, int]:
+    """Launch a CLI subprocess and parse its ephemeral port off the banner."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONUNBUFFERED"] = "1"
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.lake", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=str(REPO),
+    )
+    deadline = time.monotonic() + STARTUP_TIMEOUT_S
+    seen = ""
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            if process.poll() is not None:
+                raise SystemExit(
+                    f"{args[0]} exited early (rc={process.returncode}): {seen}"
+                )
+            continue
+        seen += line
+        if banner in line:
+            port = int(line.split(banner, 1)[1]
+                       .split("]")[0].split(" ")[0].rsplit(":", 1)[1])
+            return process, port
+    process.kill()
+    raise SystemExit(f"{args[0]} never announced its port; output: {seen}")
+
+
+def stop_process(process: subprocess.Popen, what: str) -> None:
+    process.send_signal(signal.SIGINT)
+    try:
+        process.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        raise SystemExit(f"{what} did not shut down on SIGINT")
+    assert process.returncode == 0, f"{what} exited rc={process.returncode}"
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="replica-smoke-") as tmp:
+        root = Path(tmp)
+        lake, csv_dir = build_lake(root)
+        snapshots = str(root / "snapshots")
+        lake_cli(["publish", "--lake", lake, "--snapshots", snapshots])
+        leader = _load_service(lake)
+
+        processes: list[tuple[subprocess.Popen, str]] = []
+        try:
+            ports = []
+            for i in range(2):
+                process, port = start_process(
+                    ["replica", "--snapshots", snapshots,
+                     "--port", "0", "--poll-interval", "0.5"],
+                    "lake replica listening on http://",
+                )
+                processes.append((process, f"replica {i}"))
+                ports.append(port)
+            backends = ",".join(f"127.0.0.1:{p}" for p in ports)
+            process, proxy_port = start_process(
+                ["frontend", "--backends", backends, "--port", "0"],
+                "lake frontend listening on http://",
+            )
+            processes.append((process, "frontend"))
+
+            client = LakeClient(port=proxy_port, timeout=30.0)
+            assert client.healthz()["status"] == "ok"
+
+            checked = 0
+            for mode in MODES:
+                request = DiscoveryRequest(mode=mode, k=4, table="g1t1")
+                local = leader.discover(request)
+                remote = client.query(request)
+                local_hits = json.dumps([h.to_dict() for h in local.hits])
+                remote_hits = json.dumps([h.to_dict() for h in remote.hits])
+                assert remote_hits == local_hits, (
+                    f"{mode}: frontend hits diverge from in-process leader"
+                )
+                assert remote.diagnostics["replica"] is True
+                assert remote.diagnostics["generation"] == 1
+                assert remote.diagnostics["fingerprint"], "fingerprint stamp"
+                checked += 1
+
+            # Round-robin actually spread the traffic across both backends.
+            handshake = client._request("GET", "/v1/replicas")
+            counts = [b["requests"] for b in handshake["backends"]]
+            assert len(counts) == 2 and all(c >= 1 for c in counts), counts
+
+            # Replicas are read-only: mutations get the typed refusal.
+            try:
+                client.add_table(_make_table("forbidden", 0, 8))
+            except DiscoveryError as exc:
+                assert exc.code == "bad-request" and "read-only" in exc.message
+            else:
+                raise SystemExit("replica accepted a mutation")
+
+            # Leader ingests one more table, publishes generation 2; the
+            # polling replicas adopt it and the frontend serves it.
+            write_csv(_make_table("latecomer", 1, 21), csv_dir / "latecomer.csv")
+            lake_cli(["ingest", "--lake", lake, "--csv-dir", str(csv_dir)])
+            lake_cli(["publish", "--lake", lake, "--snapshots", snapshots])
+            request = DiscoveryRequest(mode="union", k=3, table="latecomer")
+            deadline = time.monotonic() + ADOPTION_TIMEOUT_S
+            while True:
+                try:
+                    adopted = client.query(request)
+                    break
+                except DiscoveryError as exc:
+                    if exc.code != "not-found" or time.monotonic() > deadline:
+                        raise
+                    time.sleep(0.25)
+            assert adopted.diagnostics["generation"] == 2
+            assert adopted.hits, "adopted generation must rank the new table"
+            stats = client.stats()
+            assert stats["replica"]["generation"] == 2
+            assert stats["replica"]["swaps"] >= 2
+            client.close()
+        finally:
+            failures = []
+            for process, what in reversed(processes):
+                try:
+                    stop_process(process, what)
+                except (SystemExit, AssertionError) as exc:
+                    failures.append(str(exc))
+            if failures:
+                raise SystemExit("; ".join(failures))
+        print(
+            f"replica smoke OK: pooled CLI ingest, {checked} mode parities "
+            "through the frontend, round-robin over 2 replicas, read-only "
+            "refusal, generation 2 adopted via polling, clean SIGINT "
+            "shutdowns"
+        )
+
+
+if __name__ == "__main__":
+    main()

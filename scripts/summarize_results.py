@@ -36,6 +36,7 @@ EXPERIMENT_ORDER = [
     "sharded_lake",
     "discovery_api",
     "obs_overhead",
+    "replicated_lake",
 ]
 
 
@@ -64,13 +65,42 @@ def markdown_table(rows: list[dict]) -> str:
 def main() -> None:
     selector = sys.argv[1] if len(sys.argv) > 1 else ""
     paths = sorted(RESULTS.glob("*.json"), key=_order_key)
+    # Registered experiments with no checked-in result file are a warning,
+    # not a crash — most benches only run on demand, so a partial results/
+    # dir is the normal state.
+    present = {path.stem for path in paths}
+    missing = [
+        stem
+        for stem in EXPERIMENT_ORDER
+        if (not selector or selector in stem)
+        and not any(stem in found for found in present)
+    ]
+    for stem in missing:
+        print(
+            f"warning: no result file for registered experiment {stem!r} "
+            f"(expected results/{stem}.json); skipping",
+            file=sys.stderr,
+        )
     if not paths:
         print(f"no results in {RESULTS}; run `pytest benchmarks/ --benchmark-only`")
         return
     for path in paths:
         if selector and selector not in path.stem:
             continue
-        payload = json.loads(path.read_text())
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(
+                f"warning: unreadable result file {path.name} ({exc}); skipping",
+                file=sys.stderr,
+            )
+            continue
+        if not isinstance(payload, dict):
+            print(
+                f"warning: result file {path.name} is not a JSON object; skipping",
+                file=sys.stderr,
+            )
+            continue
         print(f"\n## {payload.get('title', path.stem)}\n")
         print(markdown_table(payload.get("rows", [])))
         for key, value in payload.items():

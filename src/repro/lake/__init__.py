@@ -26,7 +26,14 @@ is that serving substrate:
   ingest, stats, healthz);
 - :mod:`repro.lake.client` — :class:`LakeClient`, the ``http.client`` SDK
   that round-trips the same dataclasses over the wire;
-- ``python -m repro.lake`` — the ingest/query/serve/stats CLI.
+- :mod:`repro.lake.replica` — :class:`SnapshotPublisher` /
+  :class:`ReplicaService`: a leader publishes versioned store snapshots,
+  stateless read replicas blue/green-swap onto the newest complete
+  generation (refusing torn ones, with pin-based rollback);
+- :mod:`repro.lake.frontend` — :class:`LakeFrontend`, the round-robin
+  proxy fanning queries across replicas;
+- ``python -m repro.lake`` — the ingest/query/serve/publish/replica/
+  frontend/stats CLI.
 """
 
 from repro.lake.api import (
@@ -46,6 +53,8 @@ from repro.lake.serialization import (
     pack_table_sketch,
     unpack_table_sketch,
 )
+from repro.lake.frontend import FrontendThread, LakeFrontend
+from repro.lake.replica import ReplicaService, SnapshotPublisher
 from repro.lake.server import LakeServer, ServerThread
 from repro.lake.service import LakeService
 from repro.lake.store import LakeShard, LakeStore, LakeTableRecord, default_n_shards
@@ -57,15 +66,19 @@ __all__ = [
     "DiscoveryRequest",
     "DiscoveryResult",
     "FingerprintMismatchError",
+    "FrontendThread",
     "Hit",
     "LakeCatalog",
     "LakeClient",
+    "LakeFrontend",
     "LakeServer",
     "LakeService",
     "LakeShard",
     "LakeStore",
     "LakeTableRecord",
+    "ReplicaService",
     "ServerThread",
+    "SnapshotPublisher",
     "Timings",
     "config_fingerprint",
     "default_n_shards",

@@ -5,6 +5,9 @@ Commands::
     ingest  --lake LAKE --csv-dir DIR   # build or incrementally extend a lake
     query   --lake LAKE (--table NAME | --csv FILE) [--mode union|join|subset]
     serve   --lake LAKE [--port P]      # asyncio HTTP front-end (/v1/query...)
+    publish --lake LAKE --snapshots DIR # snapshot the lake as a new generation
+    replica --snapshots DIR [--port P]  # read-only server over snapshots
+    frontend --backends H:P,H:P [...]   # round-robin proxy over replicas
     remove  --lake LAKE --table NAME    # drop one table (incremental)
     reshard --lake LAKE --shards N      # migrate to an N-shard layout
     stats   --lake LAKE [--metrics]     # catalog + store (+ obs) statistics
@@ -49,7 +52,7 @@ from repro.core.config import TabSketchFMConfig
 from repro.core.embed import TableEmbedder
 from repro.core.inputs import InputEncoder
 from repro.core.model import TabSketchFM
-from repro.lake.api import DiscoveryError, DiscoveryRequest
+from repro.lake.api import API_VERSION, DiscoveryError, DiscoveryRequest
 from repro.lake.bundle import has_bundle, load_bundle, save_bundle
 from repro.lake.catalog import LakeCatalog
 from repro.lake.client import LakeClient
@@ -172,7 +175,9 @@ def cmd_ingest(args: argparse.Namespace) -> None:
         batch_size=args.batch_size,
         sketch_workers=args.sketch_workers,
         ingest_workers=args.ingest_workers,
+        ingest_procs=args.ingest_procs,
     )
+    catalog.engine.close_process_pool()
     added = len(fresh)
     forwards = catalog.embed_calls - forwards_before
     elapsed = time.perf_counter() - started
@@ -281,6 +286,107 @@ def cmd_serve(args: argparse.Namespace) -> None:
         asyncio.run(run())
     except KeyboardInterrupt:
         print("lake server shutting down")
+
+
+def cmd_publish(args: argparse.Namespace) -> None:
+    from repro.lake.replica import SnapshotPublisher, read_marker, generation_dir_name
+
+    try:
+        publisher = SnapshotPublisher(args.lake, args.snapshots)
+    except FileNotFoundError as exc:
+        sys.exit(f"error: {exc}")
+    started = time.perf_counter()
+    generation = publisher.publish()
+    marker = read_marker(Path(args.snapshots) / generation_dir_name(generation))
+    elapsed = time.perf_counter() - started
+    print(
+        f"published generation {generation} to {args.snapshots} in "
+        f"{elapsed:.2f}s [{marker['n_tables']} tables / "
+        f"{marker['n_columns']} columns, fingerprint {marker['fingerprint']}]"
+    )
+
+
+def cmd_replica(args: argparse.Namespace) -> None:
+    import asyncio
+    import logging
+
+    from repro.lake.replica import ReplicaService
+    from repro.lake.server import access_log
+
+    if not access_log.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        access_log.addHandler(handler)
+        access_log.setLevel(logging.INFO)
+
+    snapshots = Path(args.snapshots)
+    if not has_bundle(snapshots):
+        sys.exit(
+            f"error: no weight bundle under {args.snapshots!r} "
+            "(run `publish` from an ingested lake first)"
+        )
+    model, encoder, sbert = load_bundle(snapshots)
+    replica = ReplicaService(
+        TableEmbedder(model, encoder),
+        snapshots,
+        sbert=sbert,
+        poll_interval=args.poll_interval,
+    )
+    replica.start_polling()
+    info = replica.generation_info()
+
+    async def run() -> None:
+        server = LakeServer(
+            replica, host=args.host, port=args.port, max_workers=args.workers
+        )
+        await server.start()
+        print(
+            f"lake replica listening on http://{args.host}:{server.port} "
+            f"[generation {info['generation']}, "
+            f"poll {args.poll_interval:g}s, api {API_VERSION}]",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("lake replica shutting down")
+    finally:
+        replica.stop_polling()
+
+
+def cmd_frontend(args: argparse.Namespace) -> None:
+    import asyncio
+
+    from repro.lake.frontend import LakeFrontend, parse_backends
+
+    try:
+        backends = parse_backends(args.backends)
+    except ValueError as exc:
+        sys.exit(f"error: {exc}")
+
+    async def run() -> None:
+        frontend = LakeFrontend(backends, host=args.host, port=args.port)
+        await frontend.start()
+        listed = ",".join(f"{h}:{p}" for h, p in backends)
+        print(
+            f"lake frontend listening on http://{args.host}:{frontend.port} "
+            f"[round-robin over {len(backends)} backend(s): {listed}]",
+            flush=True,
+        )
+        try:
+            await frontend.serve_forever()
+        finally:
+            await frontend.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("lake frontend shutting down")
 
 
 def cmd_remove(args: argparse.Namespace) -> None:
@@ -458,6 +564,14 @@ def build_parser() -> argparse.ArgumentParser:
              "sequential)",
     )
     ingest.add_argument(
+        "--ingest-procs", type=int, default=None,
+        help="worker PROCESSES for the embedding stage: batches fan out "
+             "to a spawn pool (each worker loads the weight bundle once) "
+             "— scales ingest with cores past the GIL; 0/1 = in-process "
+             "(default: $REPRO_LAKE_INGEST_PROCS or in-process); "
+             "embeddings are bitwise-identical either way",
+    )
+    ingest.add_argument(
         "--shards", type=int, default=None,
         help="shard count for a NEW lake (default: $REPRO_LAKE_SHARDS or "
              "1 = flat layout); an existing lake keeps its layout — use "
@@ -525,6 +639,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="assert the lake's index backend before serving",
     )
     serve.set_defaults(func=cmd_serve)
+
+    publish = sub.add_parser(
+        "publish",
+        help="snapshot the lake's store artifacts as the next versioned "
+             "generation under a snapshot dir (atomic: replicas only ever "
+             "see complete generations)",
+    )
+    publish.add_argument("--lake", required=True, help="ingested lake directory")
+    publish.add_argument(
+        "--snapshots", required=True,
+        help="snapshot directory generations are published into",
+    )
+    publish.set_defaults(func=cmd_publish)
+
+    replica = sub.add_parser(
+        "replica",
+        help="serve the v1 API read-only from the newest complete snapshot "
+             "generation, polling for new ones and blue/green-swapping "
+             "them in (ingest routes answer 400: mutations go to the leader)",
+    )
+    replica.add_argument(
+        "--snapshots", required=True, help="snapshot directory to serve from"
+    )
+    replica.add_argument("--host", default="127.0.0.1")
+    replica.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (default 0 = ephemeral; the bound port is printed)",
+    )
+    replica.add_argument(
+        "--workers", type=int, default=4,
+        help="thread-pool size for blocking query work",
+    )
+    replica.add_argument(
+        "--poll-interval", type=float, default=2.0,
+        help="seconds between snapshot-dir polls for new generations",
+    )
+    replica.set_defaults(func=cmd_replica)
+
+    frontend = sub.add_parser(
+        "frontend",
+        help="round-robin HTTP proxy fanning queries across replica "
+             "servers (read-only routes fail over; bodies relay verbatim)",
+    )
+    frontend.add_argument(
+        "--backends", required=True, metavar="HOST:PORT,HOST:PORT",
+        help="comma-separated replica addresses",
+    )
+    frontend.add_argument("--host", default="127.0.0.1")
+    frontend.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (default 0 = ephemeral; the bound port is printed)",
+    )
+    frontend.set_defaults(func=cmd_frontend)
 
     remove = sub.add_parser("remove", help="drop one table from the lake")
     remove.add_argument("--lake", required=True)

@@ -49,11 +49,18 @@ QUERY_MODES = ("join", "union", "subset")
 
 #: error code -> HTTP status, shared by the server (encoding) and the
 #: client (decoding); ``internal`` is the catch-all for unexpected faults.
+#: ``unavailable`` is the replica/frontend "nothing can serve this yet"
+#: answer (a replica before its first adopted snapshot generation, a
+#: frontend with every backend down); ``timeout`` is raised client-side
+#: when a socket deadline expires (it never crosses the wire, but shares
+#: the taxonomy so callers catch one exception type).
 ERROR_STATUS = {
     "bad-request": 400,
     "not-found": 404,
     "fingerprint-mismatch": 409,
     "internal": 500,
+    "unavailable": 503,
+    "timeout": 504,
 }
 
 

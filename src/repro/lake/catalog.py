@@ -35,6 +35,7 @@ counter: a warm load restores the persisted index and performs zero.
 
 from __future__ import annotations
 
+import os
 from collections import Counter, defaultdict
 
 import numpy as np
@@ -60,6 +61,22 @@ _INGEST_MS = obs.histogram(
     "lake_ingest_duration_ms",
     "Catalog ingest latency in milliseconds, per add_table/add_tables call",
 )
+
+#: Environment knob: default process count for the bulk-ingest embedding
+#: stage (``add_tables``). Lets CI run the whole lake tier through the
+#: process-pool path without touching a single test body.
+ENV_INGEST_PROCS = "REPRO_LAKE_INGEST_PROCS"
+
+
+def default_ingest_procs() -> int | None:
+    """``$REPRO_LAKE_INGEST_PROCS`` or None (in-process embedding)."""
+    raw = os.environ.get(ENV_INGEST_PROCS, "").strip()
+    if not raw:
+        return None
+    value = int(raw)
+    if value < 0:
+        raise ValueError(f"{ENV_INGEST_PROCS} must be >= 0, got {value}")
+    return value
 
 
 def _index_matches_records(index, records: "list[LakeTableRecord]") -> bool:
@@ -212,6 +229,7 @@ class LakeCatalog:
         sketches: list[TableSketch],
         batch_size: int | None = None,
         workers: int | None = None,
+        process_workers: int | None = None,
     ) -> list[TableEmbeddings]:
         """Run the engine, charging its forwards to this catalog's counter.
 
@@ -219,13 +237,17 @@ class LakeCatalog:
         diffing the (possibly shared) engine counter: the service's query
         path deliberately embeds outside its lock, so concurrent callers
         must not see each other's forwards in ``embed_calls``. ``workers``
-        fans independent batch forwards across threads (bitwise-identical
-        results; the charge is the same deterministic ceil).
+        fans independent batch forwards across threads and
+        ``process_workers`` across a spawn pool (bitwise-identical results
+        either way; the charge is the same deterministic ceil).
         """
         if batch_size is None:
             batch_size = self.batch_size
         results = self.engine.embed_corpus(
-            sketches, batch_size=batch_size, workers=workers
+            sketches,
+            batch_size=batch_size,
+            workers=workers,
+            process_workers=process_workers,
         )
         self.embed_calls += -(-len(sketches) // batch_size)
         return results
@@ -330,6 +352,7 @@ class LakeCatalog:
         batch_size: int | None = None,
         sketch_workers: int | None = None,
         ingest_workers: int | None = None,
+        ingest_procs: int | None = None,
     ) -> list[LakeTableRecord]:
         """Bulk add through the parallel ingest pipeline.
 
@@ -341,8 +364,14 @@ class LakeCatalog:
 
         ``ingest_workers`` sets the thread count for every stage;
         ``sketch_workers`` overrides it for the sketching stage only
-        (back-compat knob). Results are bitwise-identical at any worker
-        count.
+        (back-compat knob). ``ingest_procs > 1`` routes the embedding
+        stage through the engine's spawn pool instead of threads — the
+        multi-core lever for GIL-bound boxes (default:
+        ``$REPRO_LAKE_INGEST_PROCS`` or in-process). Results are
+        bitwise-identical at any worker or process count; a worker process
+        dying mid-batch raises :class:`~repro.core.engine.IngestPoolError`
+        before anything is registered, so the catalog and store are left
+        exactly as they were.
         """
         for table in tables.values():
             if table.name in self.records:
@@ -351,6 +380,8 @@ class LakeCatalog:
                 )
         ordered = list(tables.values())
         workers = ingest_workers
+        if ingest_procs is None:
+            ingest_procs = default_ingest_procs()
         with obs.span("lake.ingest", tables=len(ordered)) as ingest:
             sketches = sketch_corpus(
                 ordered,
@@ -359,7 +390,10 @@ class LakeCatalog:
                 workers=sketch_workers if sketch_workers is not None else workers,
             )
             embeddings = self._embed_sketches(
-                sketches, batch_size=batch_size, workers=workers
+                sketches,
+                batch_size=batch_size,
+                workers=workers,
+                process_workers=ingest_procs,
             )
             records = []
             for table, sketch, embedding in zip(ordered, sketches, embeddings):

@@ -44,17 +44,32 @@ DEFAULT_TIMEOUT = 60.0
 
 
 class LakeClient:
-    """Typed HTTP access to a running :class:`~repro.lake.server.LakeServer`."""
+    """Typed HTTP access to a running :class:`~repro.lake.server.LakeServer`.
+
+    ``connect_timeout`` bounds dialing the server, ``read_timeout`` bounds
+    each response wait; both default to ``timeout``. Either deadline
+    expiring raises a typed ``DiscoveryError("timeout")`` (HTTP-status
+    analogue 504) instead of letting a raw socket ``OSError`` escape the
+    SDK — ``is_alive`` and broad ``except DiscoveryError`` handlers keep
+    working unchanged. Connection-refused/reset failures still surface as
+    ``OSError`` (callers distinguish "server absent" from "server slow").
+    """
 
     def __init__(
         self,
         host: str = "127.0.0.1",
         port: int = 8765,
         timeout: float = DEFAULT_TIMEOUT,
+        connect_timeout: float | None = None,
+        read_timeout: float | None = None,
     ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.connect_timeout = (
+            connect_timeout if connect_timeout is not None else timeout
+        )
+        self.read_timeout = read_timeout if read_timeout is not None else timeout
         self._lock = threading.Lock()
         self._conn: http.client.HTTPConnection | None = None
         #: ``X-Request-Id`` echoed by the server on the last exchange.
@@ -63,10 +78,23 @@ class LakeClient:
     # ------------------------------------------------------------------ #
     def _connection(self) -> http.client.HTTPConnection:
         if self._conn is None:
-            self._conn = http.client.HTTPConnection(
-                self.host, self.port, timeout=self.timeout
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.connect_timeout
             )
+            # Dial eagerly under the connect deadline, then move the socket
+            # to the (usually longer) read deadline for every exchange.
+            conn.connect()
+            if conn.sock is not None:
+                conn.sock.settimeout(self.read_timeout)
+            self._conn = conn
         return self._conn
+
+    def _timeout_error(self, method: str, path: str) -> DiscoveryError:
+        return DiscoveryError(
+            "timeout",
+            f"{method} {path} to {self.host}:{self.port} timed out "
+            f"(connect {self.connect_timeout}s / read {self.read_timeout}s)",
+        )
 
     def close(self) -> None:
         with self._lock:
@@ -97,9 +125,9 @@ class LakeClient:
         echoed: str | None = None
         with self._lock:
             for attempt in (0, 1):
-                conn = self._connection()
                 sent = False
                 try:
+                    conn = self._connection()
                     conn.request(method, path, body=body, headers=headers)
                     sent = True
                     response = conn.getresponse()
@@ -112,9 +140,10 @@ class LakeClient:
                     ConnectionError,
                     socket.timeout,
                     OSError,
-                ):
-                    conn.close()
-                    self._conn = None
+                ) as exc:
+                    if self._conn is not None:
+                        self._conn.close()
+                        self._conn = None
                     # Re-dial once, but only when the retry cannot double-
                     # apply: the request never went out (a stale keep-alive
                     # connection failing at send time), or the route is
@@ -129,6 +158,10 @@ class LakeClient:
                         "/v1/query_batch",
                     )
                     if attempt or not ((not sent) or read_only):
+                        # Socket deadlines surface as the typed taxonomy;
+                        # refused/reset connections stay OSError.
+                        if isinstance(exc, (socket.timeout, TimeoutError)):
+                            raise self._timeout_error(method, path) from exc
                         raise
         self.last_request_id = echoed or rid
         if not expect_json and status < 400:

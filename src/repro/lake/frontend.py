@@ -1,0 +1,361 @@
+"""`repro.lake.frontend` — a round-robin proxy over N lake replicas.
+
+The thinnest possible fan-out layer, stdlib asyncio only: one accept loop
+parses framed HTTP/1.1 requests exactly like :class:`~repro.lake.server.
+LakeServer` and relays each one to the next backend in rotation over a
+pooled keep-alive connection. Response bodies are relayed **verbatim** —
+the frontend never re-encodes JSON, so ranked hits coming back through it
+are byte-identical to what the replica produced (which is in turn
+byte-identical to the in-process service; the parity chain
+``bench_replicated_lake`` and the CI smoke assert).
+
+Behavior:
+
+- **Round-robin dispatch** per request (not per connection), so a single
+  keep-alive benchmark client still exercises every backend.
+- **Failover for safe requests**: a backend that cannot be reached (or
+  dies before answering) is skipped and the request retried on the next
+  one — but only for read-only routes (GETs and the side-effect-free
+  query POSTs), mirroring :class:`~repro.lake.client.LakeClient`'s
+  retry rule. With every backend down, the typed ``unavailable``
+  envelope (503) goes back to the caller.
+- ``GET /v1/replicas`` is answered by the frontend itself: the backend
+  list with per-backend request/failure counters — the handshake surface
+  for checking which generation each replica serves (callers then hit the
+  backends' ``/v1/stats`` directly for the full replica info).
+
+:class:`FrontendThread` hosts the loop on a daemon thread for tests and
+benchmarks; ``python -m repro.lake frontend`` is the CLI entry point.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro import obs
+from repro.lake.api import API_VERSION, DiscoveryError
+from repro.lake.server import LakeServer
+
+_PROXIED = obs.counter(
+    "frontend_requests_total",
+    "Requests relayed by the lake frontend, by backend",
+    ("backend",),
+)
+_FAILOVERS = obs.counter(
+    "frontend_failovers_total",
+    "Requests that failed over to another backend after a backend error",
+)
+
+#: Routes safe to retry on another backend (same rule as LakeClient).
+_READ_ONLY_POSTS = ("/v1/query", "/v1/query_batch")
+
+
+def _is_read_only(method: str, path: str) -> bool:
+    route = path.partition("?")[0]
+    return method == "GET" or route in _READ_ONLY_POSTS
+
+
+class LakeFrontend:
+    """Round-robin HTTP proxy fanning lake queries across replicas."""
+
+    def __init__(
+        self,
+        backends: "list[tuple[str, int]]",
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        if not backends:
+            raise ValueError("frontend needs at least one backend")
+        self.backends = list(backends)
+        self.host = host
+        self.port = port
+        self._next = 0
+        self._server: asyncio.AbstractServer | None = None
+        #: Idle pooled connections per backend index.
+        self._pools: dict[int, list[tuple[asyncio.StreamReader, asyncio.StreamWriter]]] = {
+            i: [] for i in range(len(backends))
+        }
+        self.requests_by_backend = [0] * len(backends)
+        self.failures_by_backend = [0] * len(backends)
+
+    # ------------------------------------------------------------------ #
+    async def start(self) -> "LakeFrontend":
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for pool in self._pools.values():
+            for _, writer in pool:
+                writer.close()
+            pool.clear()
+
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                parsed = await LakeServer._read_request(reader)
+                if parsed is None:
+                    break
+                method, path, headers, body = parsed
+                writer.write(await self._answer(method, path, headers, body))
+                await writer.drain()
+                if headers.get("connection", "").lower() == "close":
+                    break
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            TimeoutError,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            except asyncio.CancelledError:
+                # Shutdown cancelled this handler mid-close; the transport
+                # is already closed, so ending quietly is the right thing
+                # (propagating trips asyncio.streams' connection_made
+                # callback into logging a spurious error).
+                pass
+
+    async def _answer(
+        self, method: str, path: str, headers: dict, body: bytes
+    ) -> bytes:
+        route = path.partition("?")[0]
+        if route == "/v1/replicas" and method == "GET":
+            return LakeServer._encode_response(200, self._replicas_payload())
+        attempts = len(self.backends) if _is_read_only(method, path) else 1
+        first = self._next
+        self._next = (self._next + 1) % len(self.backends)
+        last_error: Exception | None = None
+        for step in range(attempts):
+            index = (first + step) % len(self.backends)
+            try:
+                response = await self._forward(index, method, path, headers, body)
+            except (OSError, asyncio.IncompleteReadError, ValueError) as exc:
+                self.failures_by_backend[index] += 1
+                last_error = exc
+                if step + 1 < attempts:
+                    _FAILOVERS.inc()
+                continue
+            self.requests_by_backend[index] += 1
+            if obs.enabled():
+                host, port = self.backends[index]
+                _PROXIED.labels(backend=f"{host}:{port}").inc()
+            return response
+        error = DiscoveryError(
+            "unavailable",
+            f"no lake backend answered {method} {path} "
+            f"({len(self.backends)} configured): {last_error!r}",
+        )
+        return LakeServer._encode_response(
+            error.status, {"error": error.to_dict(), "version": API_VERSION}
+        )
+
+    def _replicas_payload(self) -> dict:
+        return {
+            "version": API_VERSION,
+            "backends": [
+                {
+                    "host": host,
+                    "port": port,
+                    "requests": self.requests_by_backend[i],
+                    "failures": self.failures_by_backend[i],
+                }
+                for i, (host, port) in enumerate(self.backends)
+            ],
+        }
+
+    # ------------------------------------------------------------------ #
+    async def _acquire(
+        self, index: int
+    ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        pool = self._pools[index]
+        while pool:
+            reader, writer = pool.pop()
+            if not writer.is_closing() and not reader.at_eof():
+                return reader, writer
+            writer.close()
+        host, port = self.backends[index]
+        return await asyncio.open_connection(host, port)
+
+    def _release(
+        self,
+        index: int,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        reusable: bool,
+    ) -> None:
+        if reusable and not writer.is_closing():
+            self._pools[index].append((reader, writer))
+        else:
+            writer.close()
+
+    async def _forward(
+        self, index: int, method: str, path: str, headers: dict, body: bytes
+    ) -> bytes:
+        """Relay one request to a backend; the response head is re-framed
+        but the body bytes pass through untouched."""
+        reader, writer = await self._acquire(index)
+        reusable = False
+        try:
+            host, port = self.backends[index]
+            head = [
+                f"{method} {path} HTTP/1.1",
+                f"Host: {host}:{port}",
+                f"Content-Length: {len(body)}",
+                "Connection: keep-alive",
+            ]
+            for name in ("content-type", "x-request-id", "accept"):
+                if name in headers:
+                    head.append(f"{name}: {headers[name]}")
+            writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
+            await writer.drain()
+            status, resp_headers, resp_body = await self._read_response(reader)
+            reusable = resp_headers.get("connection", "").lower() != "close"
+            extras = "".join(
+                f"{name}: {value}\r\n"
+                for name, value in resp_headers.items()
+                if name in ("x-request-id",)
+            )
+            out_head = (
+                f"HTTP/1.1 {status} "
+                f"{resp_headers.get('__reason', 'OK')}\r\n"
+                f"Content-Type: "
+                f"{resp_headers.get('content-type', 'application/json')}\r\n"
+                f"Content-Length: {len(resp_body)}\r\n"
+                "Connection: keep-alive\r\n"
+                f"{extras}\r\n"
+            )
+            return out_head.encode("latin-1") + resp_body
+        finally:
+            self._release(index, reader, writer, reusable)
+
+    @staticmethod
+    async def _read_response(
+        reader: asyncio.StreamReader,
+    ) -> tuple[int, dict, bytes]:
+        status_line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
+        parts = status_line.split(" ", 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ValueError(f"bad backend status line {status_line!r}")
+        status = int(parts[1])
+        headers: dict[str, str] = {"__reason": parts[2] if len(parts) > 2 else "OK"}
+        while True:
+            line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        body = await reader.readexactly(length) if length else b""
+        return status, headers, body
+
+
+# --------------------------------------------------------------------- #
+class FrontendThread:
+    """A `LakeFrontend` on a daemon thread (the test/benchmark host)."""
+
+    def __init__(
+        self,
+        backends: "list[tuple[str, int]]",
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.frontend = LakeFrontend(backends, host=host, port=port)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self.frontend.port
+
+    @property
+    def host(self) -> str:
+        return self.frontend.host
+
+    def start(self) -> "FrontendThread":
+        started = threading.Event()
+        failure: list[BaseException] = []
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                loop.run_until_complete(self.frontend.start())
+            except BaseException as exc:  # noqa: BLE001 — surface to starter
+                failure.append(exc)
+                started.set()
+                loop.close()
+                return
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(self.frontend.close())
+                pending = asyncio.all_tasks(loop)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=run, name="lake-frontend", daemon=True
+        )
+        self._thread.start()
+        started.wait(timeout=30)
+        if failure:
+            raise failure[0]
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+    def __enter__(self) -> "FrontendThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def parse_backends(raw: str) -> "list[tuple[str, int]]":
+    """``HOST:PORT,HOST:PORT`` -> backend list (the CLI's --backends)."""
+    backends = []
+    for piece in raw.split(","):
+        piece = piece.strip()
+        if not piece:
+            continue
+        host, _, port = piece.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(f"backend wants HOST:PORT, got {piece!r}")
+        backends.append((host, int(port)))
+    if not backends:
+        raise ValueError("no backends given")
+    return backends
+
+
+__all__ = ["LakeFrontend", "FrontendThread", "parse_backends"]

@@ -71,6 +71,8 @@ _REASONS = {
     405: "Method Not Allowed",
     409: "Conflict",
     500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 #: Upper bound on request head + body (64 MiB) — a lake payload of tables

@@ -579,10 +579,12 @@ class LakeService:
         batch_size: int | None = None,
         sketch_workers: int | None = None,
         ingest_workers: int | None = None,
+        ingest_procs: int | None = None,
     ):
         """Bulk ingest through the parallel pipeline:
         ``ceil(N / batch_size)`` trunk forwards for N new tables, fanned
-        across ``ingest_workers`` threads along with sketching and the
+        across ``ingest_workers`` threads (or ``ingest_procs`` spawn-pool
+        processes for the embedding stage) along with sketching and the
         per-shard store writes."""
         with self._lock:
             records = self.catalog.add_tables(
@@ -590,6 +592,7 @@ class LakeService:
                 batch_size=batch_size,
                 sketch_workers=sketch_workers,
                 ingest_workers=ingest_workers,
+                ingest_procs=ingest_procs,
             )
             self.ingest_count += len(records)
             return records

@@ -1,0 +1,103 @@
+"""Process-pool ingest: spawn workers must be bitwise-identical to the
+in-process path, and a degraded pool must fail loudly — a typed error, no
+hang, no partial results, and a fresh pool on the next call."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import EmbeddingEngine, IngestPoolError
+from repro.sketch import sketch_table
+
+
+@pytest.fixture()
+def corpus_sketches(city_table, product_table, mixed_table, tiny_sketch_config):
+    tables = [city_table, product_table, mixed_table]
+    tables += [
+        base.with_columns(base.columns, name=f"pool{i}")
+        for i, base in enumerate(tables)
+    ]
+    return [sketch_table(t, tiny_sketch_config) for t in tables]
+
+
+def test_process_pool_bitwise_identical_and_reused(
+    tiny_model, tiny_encoder, corpus_sketches
+):
+    """The acceptance criterion: fanning batches across spawn workers
+    changes *nothing* — embeddings match the in-process path to the bit
+    (the workers load a float64 npz snapshot of the same weights), the
+    forward counter charges the same per-group accounting, and the pool
+    survives across calls (steady-state ingest pays spawn startup once)."""
+    engine = EmbeddingEngine(tiny_model, tiny_encoder, batch_size=2)
+    serial = engine.embed_corpus(corpus_sketches)
+    serial_calls = engine.forward_calls
+    try:
+        pooled = engine.embed_corpus(corpus_sketches, process_workers=2)
+        first_pool = engine._pool
+        assert first_pool is not None
+        assert engine.forward_calls == 2 * serial_calls
+        for a, b in zip(pooled, serial):
+            assert np.array_equal(a.table, b.table)
+            assert np.array_equal(a.columns, b.columns)
+        # Second pooled call at the same worker count reuses the live pool.
+        again = engine.embed_corpus(corpus_sketches, process_workers=2)
+        assert engine._pool is first_pool
+        for a, b in zip(again, serial):
+            assert np.array_equal(a.table, b.table)
+            assert np.array_equal(a.columns, b.columns)
+    finally:
+        engine.close_process_pool()
+    assert engine._pool is None
+
+
+def test_worker_death_raises_typed_error_and_pool_recovers(
+    tiny_model, tiny_encoder, corpus_sketches
+):
+    """Killing the workers mid-lifecycle must surface as `IngestPoolError`
+    — promptly, with no returned embeddings — and drop the broken pool so
+    the *next* pooled call spawns a fresh one and succeeds."""
+    engine = EmbeddingEngine(tiny_model, tiny_encoder, batch_size=2)
+    serial = engine.embed_corpus(corpus_sketches)
+    try:
+        # Warm the pool so worker processes actually exist, then kill them.
+        engine.embed_corpus(corpus_sketches, process_workers=2)
+        assert engine._pool is not None
+        for process in list(engine._pool._processes.values()):
+            process.kill()
+        with pytest.raises(IngestPoolError, match="no tables from this call"):
+            engine.embed_corpus(corpus_sketches, process_workers=2)
+        # The broken pool was torn down, not left to poison later calls...
+        assert engine._pool is None
+        # ...and a retry transparently rebuilds and still matches serial.
+        retried = engine.embed_corpus(corpus_sketches, process_workers=2)
+        for a, b in zip(retried, serial):
+            assert np.array_equal(a.table, b.table)
+            assert np.array_equal(a.columns, b.columns)
+    finally:
+        engine.close_process_pool()
+
+
+@pytest.mark.parametrize("procs", [0, 1, None], ids=["zero", "one", "default"])
+def test_low_process_workers_stay_in_process(
+    tiny_model, tiny_encoder, corpus_sketches, procs
+):
+    """``process_workers`` of 0/1/None is *exactly* the serial path: same
+    results, same forward accounting, and no pool is ever spawned."""
+    engine = EmbeddingEngine(tiny_model, tiny_encoder, batch_size=2)
+    serial = engine.embed_corpus(corpus_sketches)
+    serial_calls = engine.forward_calls
+    results = engine.embed_corpus(corpus_sketches, process_workers=procs)
+    assert engine._pool is None
+    assert engine.forward_calls == 2 * serial_calls
+    for a, b in zip(results, serial):
+        assert np.array_equal(a.table, b.table)
+        assert np.array_equal(a.columns, b.columns)
+
+
+def test_negative_process_workers_rejected(
+    tiny_model, tiny_encoder, corpus_sketches
+):
+    engine = EmbeddingEngine(tiny_model, tiny_encoder)
+    with pytest.raises(ValueError, match="process_workers"):
+        engine.embed_corpus(corpus_sketches, process_workers=-1)
+    with pytest.raises(ValueError, match="process_workers"):
+        engine.embed_corpus([], process_workers=-2)  # validated even empty

@@ -1,0 +1,98 @@
+"""Process-pool ingest through the catalog: parity with serial ingest, the
+``$REPRO_LAKE_INGEST_PROCS`` default, and — the load-bearing failure mode —
+a worker death leaving *zero* partial catalog/store/index state."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import IngestPoolError
+from repro.lake.catalog import (
+    ENV_INGEST_PROCS,
+    LakeCatalog,
+    default_ingest_procs,
+)
+from repro.lake.store import LakeStore
+
+
+def _as_dict(tables):
+    return {table.name: table for table in tables}
+
+
+def _variants(lake_tables, prefix, n):
+    source = next(iter(lake_tables.values()))
+    return [
+        source.with_columns(source.columns, name=f"{prefix}{i}")
+        for i in range(n)
+    ]
+
+
+def test_pooled_ingest_matches_serial(lake_embedder, lake_tables):
+    serial = LakeCatalog(lake_embedder)
+    serial.add_tables(dict(lake_tables))
+    pooled = LakeCatalog(lake_embedder)
+    try:
+        pooled.add_tables(dict(lake_tables), ingest_procs=2)
+    finally:
+        pooled.engine.close_process_pool()
+    assert pooled.table_names() == serial.table_names()
+    for name in lake_tables:
+        assert np.array_equal(
+            pooled.query_vectors(name), serial.query_vectors(name)
+        )
+
+
+def test_worker_death_leaves_no_partial_catalog_state(
+    tmp_path, lake_embedder, lake_tables
+):
+    """A worker dying mid-ingest must fail the whole `add_tables` call with
+    the typed error and register *nothing*: no new records, no store
+    writes, no index insertions — the failed batch is simply retryable."""
+    store = LakeStore(tmp_path, "fp")
+    catalog = LakeCatalog(lake_embedder, store=store)
+    catalog.add_tables(_as_dict(_variants(lake_tables, "seed", 3)), ingest_procs=2)
+    engine = catalog.engine
+    assert engine._pool is not None
+
+    before = {
+        "names": catalog.table_names(),
+        "stored": sorted(store.table_names()),
+        "indexed": catalog.searcher.n_tables,
+    }
+    for process in list(engine._pool._processes.values()):
+        process.kill()
+    doomed = _variants(lake_tables, "doomed", 4)
+    with pytest.raises(IngestPoolError):
+        catalog.add_tables(_as_dict(doomed), ingest_procs=2)
+
+    assert catalog.table_names() == before["names"]
+    assert sorted(store.table_names()) == before["stored"]
+    assert catalog.searcher.n_tables == before["indexed"]
+    for table in doomed:
+        assert table.name not in catalog
+        assert not catalog.searcher.has_table(table.name)
+    # The batch is retryable — serially here, so no fresh pool spawns.
+    catalog.add_tables(_as_dict(doomed))
+    assert len(catalog) == 7
+    engine.close_process_pool()
+
+
+def test_env_default_ingest_procs(monkeypatch):
+    monkeypatch.delenv(ENV_INGEST_PROCS, raising=False)
+    assert default_ingest_procs() is None
+    monkeypatch.setenv(ENV_INGEST_PROCS, "3")
+    assert default_ingest_procs() == 3
+    monkeypatch.setenv(ENV_INGEST_PROCS, "0")
+    assert default_ingest_procs() == 0
+    monkeypatch.setenv(ENV_INGEST_PROCS, "-2")
+    with pytest.raises(ValueError, match=ENV_INGEST_PROCS):
+        default_ingest_procs()
+    monkeypatch.setenv(ENV_INGEST_PROCS, "lots")
+    with pytest.raises(ValueError):
+        default_ingest_procs()
+
+
+def test_ingest_procs_one_never_spawns_a_pool(lake_embedder, lake_tables):
+    catalog = LakeCatalog(lake_embedder)
+    catalog.add_tables(_as_dict(_variants(lake_tables, "solo", 2)), ingest_procs=1)
+    assert catalog.engine._pool is None
+    assert len(catalog) == 2

@@ -357,6 +357,57 @@ def test_remote_ingest_remove_and_stats(served, lake_tables):
 
 
 # --------------------------------------------------------------------- #
+# Client deadlines
+# --------------------------------------------------------------------- #
+def test_client_read_timeout_raises_typed_discovery_error():
+    """A server that accepts but never answers must surface as the typed
+    ``timeout`` error (HTTP-status analogue 504) within the read deadline —
+    not as a raw socket error escaping the SDK, and never a hang."""
+    import socket
+    import time
+
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(4)  # backlog absorbs the dial + the one re-dial
+    client = LakeClient(
+        port=listener.getsockname()[1], connect_timeout=10, read_timeout=0.2
+    )
+    try:
+        started = time.monotonic()
+        with pytest.raises(DiscoveryError) as excinfo:
+            client.healthz()
+        elapsed = time.monotonic() - started
+        assert excinfo.value.code == "timeout"
+        assert excinfo.value.status == 504
+        assert "timed out" in excinfo.value.message
+        assert "read 0.2s" in excinfo.value.message
+        # Two attempts (GET is retried once), each bounded by the deadline.
+        assert elapsed < 5.0
+        # The taxonomy keeps is_alive() a clean False, not an exception.
+        assert client.is_alive() is False
+    finally:
+        client.close()
+        listener.close()
+
+
+def test_client_refused_connection_stays_oserror():
+    """Connection refused is "server absent", not "server slow" — it must
+    stay an OSError so callers (and the CLI) keep distinguishing the two."""
+    sacrificial = LakeClient(port=1, connect_timeout=2, read_timeout=2)
+    with pytest.raises(OSError):
+        sacrificial.healthz()
+    assert sacrificial.is_alive() is False
+
+
+def test_client_timeouts_default_to_single_timeout():
+    client = LakeClient(port=1234, timeout=7.5)
+    assert client.connect_timeout == 7.5
+    assert client.read_timeout == 7.5
+    split = LakeClient(port=1234, timeout=9.0, connect_timeout=1.0, read_timeout=3.0)
+    assert (split.connect_timeout, split.read_timeout) == (1.0, 3.0)
+
+
+# --------------------------------------------------------------------- #
 # Concurrency: queries overlap ingest through the wire
 # --------------------------------------------------------------------- #
 N_CLIENTS = 4
