@@ -8,6 +8,8 @@ Commands::
     publish --lake LAKE --snapshots DIR # snapshot the lake as a new generation
     replica --snapshots DIR [--port P]  # read-only server over snapshots
     frontend --backends H:P,H:P [...]   # round-robin proxy over replicas
+    append  --lake LAKE --table NAME --csv FILE  # O(delta) row append
+    update  --lake LAKE --csv FILE      # staged table replace (version bump)
     remove  --lake LAKE --table NAME    # drop one table (incremental)
     reshard --lake LAKE --shards N      # migrate to an N-shard layout
     stats   --lake LAKE [--metrics]     # catalog + store (+ obs) statistics
@@ -389,6 +391,70 @@ def cmd_frontend(args: argparse.Namespace) -> None:
         print("lake frontend shutting down")
 
 
+def _parse_server(spec: str) -> tuple[str, int]:
+    host, _, port = spec.rpartition(":")
+    if not host or not port.isdigit():
+        sys.exit(f"error: --server wants HOST:PORT, got {spec!r}")
+    return host, int(port)
+
+
+def cmd_append(args: argparse.Namespace) -> None:
+    if args.lake is None and args.server is None:
+        sys.exit("error: append needs --lake (local) or --server HOST:PORT")
+    if args.lake is not None and args.server is not None:
+        sys.exit("error: --lake and --server are mutually exclusive")
+    delta = read_csv(args.csv)
+    rows = [list(row) for row in delta.rows()]
+    if not rows:
+        sys.exit(f"error: {args.csv!r} has no data rows to append")
+    if args.server is not None:
+        host, port = _parse_server(args.server)
+        try:
+            with LakeClient(host=host, port=port) as client:
+                answer = client.append_rows(args.table, rows)
+        except OSError as exc:
+            sys.exit(f"error: cannot reach server {args.server}: {exc}")
+        print(
+            f"appended {answer['appended']} rows to {args.table!r} "
+            f"[version {answer['table_version']}, "
+            f"embedding_stale={answer['embedding_stale']}]"
+        )
+    else:
+        service = _load_service(args.lake)
+        record = service.append_rows(args.table, rows)
+        print(
+            f"appended {len(rows)} rows to {args.table!r} "
+            f"[version {record.version}, embedding stale until the next "
+            "strict query re-embeds it]"
+        )
+
+
+def cmd_update(args: argparse.Namespace) -> None:
+    if args.lake is None and args.server is None:
+        sys.exit("error: update needs --lake (local) or --server HOST:PORT")
+    if args.lake is not None and args.server is not None:
+        sys.exit("error: --lake and --server are mutually exclusive")
+    table = read_csv(args.csv)
+    if args.server is not None:
+        host, port = _parse_server(args.server)
+        try:
+            with LakeClient(host=host, port=port) as client:
+                answer = client.update_table(table)
+        except OSError as exc:
+            sys.exit(f"error: cannot reach server {args.server}: {exc}")
+        print(
+            f"updated {table.name!r} [version {answer['table_version']}]; "
+            f"catalog has {answer['n_tables']} tables"
+        )
+    else:
+        service = _load_service(args.lake)
+        record = service.update_table(table)
+        print(
+            f"updated {table.name!r} [version {record.version}]; "
+            f"catalog has {len(service.catalog)} tables"
+        )
+
+
 def cmd_remove(args: argparse.Namespace) -> None:
     service = _load_service(args.lake)
     if service.remove_table(args.table):
@@ -692,6 +758,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="listen port (default 0 = ephemeral; the bound port is printed)",
     )
     frontend.set_defaults(func=cmd_frontend)
+
+    append = sub.add_parser(
+        "append",
+        help="append a CSV's data rows to one stored table: sketches merge "
+             "in O(delta), the per-table version bumps, and the embedding "
+             "goes stale until the next strict query re-embeds it",
+    )
+    append.add_argument("--lake", default=None, help="lake directory (local)")
+    append.add_argument(
+        "--server", default=None, metavar="HOST:PORT",
+        help="append through a running `serve` instance "
+             "(POST /v1/tables/{name}/rows) instead of opening the lake",
+    )
+    append.add_argument("--table", required=True, help="stored table name")
+    append.add_argument(
+        "--csv", required=True,
+        help="CSV whose data rows are appended; columns must match the "
+             "stored table's column order",
+    )
+    append.set_defaults(func=cmd_append)
+
+    update = sub.add_parser(
+        "update",
+        help="replace one stored table from a CSV (staged write — a crash "
+             "mid-update leaves the previous artifacts intact; bumps the "
+             "per-table version)",
+    )
+    update.add_argument("--lake", default=None, help="lake directory (local)")
+    update.add_argument(
+        "--server", default=None, metavar="HOST:PORT",
+        help="update through a running `serve` instance (PUT /v1/tables)",
+    )
+    update.add_argument(
+        "--csv", required=True,
+        help="replacement CSV (the table name is the file stem)",
+    )
+    update.set_defaults(func=cmd_update)
 
     remove = sub.add_parser("remove", help="drop one table from the lake")
     remove.add_argument("--lake", required=True)

@@ -58,6 +58,7 @@ ERROR_STATUS = {
     "bad-request": 400,
     "not-found": 404,
     "fingerprint-mismatch": 409,
+    "version-conflict": 409,
     "internal": 500,
     "unavailable": 503,
     "timeout": 504,
@@ -219,6 +220,14 @@ class DiscoveryRequest:
     named store shards; ``fingerprint``, when set, pins the request to a
     lake built under that exact configuration (``fingerprint-mismatch``
     otherwise — the remote analogue of the store's open-time guard).
+
+    Live-table controls: ``allow_stale=True`` skips the lazy re-embed of
+    stale tables — answers may rank appended tables by pre-append vectors,
+    and hits carry their ``stale`` flag so the caller can tell.
+    ``pin_version`` (member queries only) demands the named query table be
+    at exactly that data version *and* freshly embedded; any drift raises
+    a typed ``version-conflict`` instead of silently answering from other
+    data than the caller pinned.
     """
 
     mode: str = "union"
@@ -229,6 +238,8 @@ class DiscoveryRequest:
     min_score: float | None = None
     shards: tuple[int, ...] | None = None
     fingerprint: str | None = None
+    allow_stale: bool = False
+    pin_version: int | None = None
     version: str = API_VERSION
 
     def validated(self) -> "DiscoveryRequest":
@@ -265,6 +276,25 @@ class DiscoveryRequest:
                 raise bad_request(f"shards must be non-negative ints, got {self.shards!r}")
             if not self.shards:
                 raise bad_request("shards filter must name at least one shard")
+        if not isinstance(self.allow_stale, bool):
+            raise bad_request(
+                f"allow_stale must be a boolean, got {self.allow_stale!r}"
+            )
+        if self.pin_version is not None:
+            if (
+                not isinstance(self.pin_version, int)
+                or isinstance(self.pin_version, bool)
+                or self.pin_version < 1
+            ):
+                raise bad_request(
+                    f"pin_version must be a positive integer, got "
+                    f"{self.pin_version!r}"
+                )
+            if self.table is None:
+                raise bad_request(
+                    "pin_version only applies to catalog-member queries "
+                    "('table'); inline payloads have no stored version"
+                )
         return self
 
     @property
@@ -286,6 +316,10 @@ class DiscoveryRequest:
             out["shards"] = list(self.shards)
         if self.fingerprint is not None:
             out["fingerprint"] = self.fingerprint
+        if self.allow_stale:
+            out["allow_stale"] = True
+        if self.pin_version is not None:
+            out["pin_version"] = int(self.pin_version)
         return out
 
     @classmethod
@@ -294,7 +328,8 @@ class DiscoveryRequest:
         _reject_unknown(
             raw,
             ("version", "mode", "k", "table", "payload", "column",
-             "min_score", "shards", "fingerprint"),
+             "min_score", "shards", "fingerprint", "allow_stale",
+             "pin_version"),
             "discovery request",
         )
         what = "discovery request"
@@ -310,6 +345,8 @@ class DiscoveryRequest:
             min_score=_typed(raw, "min_score", (int, float), what),
             shards=tuple(shards_raw) if shards_raw is not None else None,
             fingerprint=_typed(raw, "fingerprint", str, what),
+            allow_stale=_typed(raw, "allow_stale", bool, what, default=False),
+            pin_version=_typed(raw, "pin_version", int, what),
         ).validated()
 
     def with_payload(self, payload: Table) -> "DiscoveryRequest":
@@ -357,6 +394,10 @@ class Hit:
     this table (join mode: the single best pair; union/subset: one entry
     per matched query column — RANK1's count is ``n_matched_columns`` and
     RANK2's tie-break is ``distance_sum``).
+
+    ``version`` / ``stale`` stamp the hit table's data version and whether
+    its served vectors lag an append (live-table diagnostics; ``None`` on
+    results produced before the serving side tracked them).
     """
 
     table: str
@@ -364,22 +405,30 @@ class Hit:
     n_matched_columns: int
     distance_sum: float
     matches: tuple[ColumnMatch, ...] = ()
+    version: int | None = None
+    stale: bool | None = None
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "table": self.table,
             "score": float(self.score),
             "n_matched_columns": self.n_matched_columns,
             "distance_sum": float(self.distance_sum),
             "matches": [match.to_dict() for match in self.matches],
         }
+        if self.version is not None:
+            out["version"] = int(self.version)
+        if self.stale is not None:
+            out["stale"] = bool(self.stale)
+        return out
 
     @classmethod
     def from_dict(cls, raw) -> "Hit":
         raw = _require_mapping(raw, "hit")
         _reject_unknown(
             raw,
-            ("table", "score", "n_matched_columns", "distance_sum", "matches"),
+            ("table", "score", "n_matched_columns", "distance_sum", "matches",
+             "version", "stale"),
             "hit",
         )
         matches_raw = _typed(raw, "matches", list, "hit", default=[])
@@ -393,6 +442,8 @@ class Hit:
                 _typed(raw, "distance_sum", (int, float), "hit", default=0.0)
             ),
             matches=tuple(ColumnMatch.from_dict(m) for m in matches_raw),
+            version=_typed(raw, "version", int, "hit"),
+            stale=_typed(raw, "stale", bool, "hit"),
         )
 
 

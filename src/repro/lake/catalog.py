@@ -48,7 +48,7 @@ from repro.lake.store import LakeStore, LakeTableRecord, default_n_shards
 from repro.search.backend import IndexSpec, normalize_index_spec, stable_shard
 from repro.search.tables import TableSearcher
 from repro.sketch.pipeline import TableSketch, sketch_table
-from repro.table.schema import Table
+from repro.table.schema import Table, table_from_rows
 from repro.text.sbert import HashedSentenceEncoder
 
 _TABLES_ADDED = obs.counter(
@@ -56,6 +56,14 @@ _TABLES_ADDED = obs.counter(
 )
 _TABLES_REMOVED = obs.counter(
     "lake_tables_removed_total", "Tables removed from a lake catalog"
+)
+_TABLES_UPDATED = obs.counter(
+    "lake_tables_updated_total",
+    "In-place table replacements (update_table) — counted once per update, "
+    "not as a remove plus an add",
+)
+_ROWS_APPENDED = obs.counter(
+    "lake_rows_appended_total", "Rows merged into live tables via append_rows"
 )
 _INGEST_MS = obs.histogram(
     "lake_ingest_duration_ms",
@@ -423,12 +431,166 @@ class LakeCatalog:
     def update_table(self, table: Table) -> LakeTableRecord:
         """Replace one table's artifacts; only that table is re-embedded.
 
-        The removal skips the interim index save — the add that follows
-        persists the final state, so an update costs one index write, not
-        two.
+        The replacement is **staged**: the new record is fully computed
+        (sketch + embed — the slow, failure-prone part) before anything is
+        touched, then the in-memory swap happens, then the store writes it
+        through :meth:`LakeStore.save_table`'s staged replace — the old
+        archive is only unlinked after the manifest flush lands. A crash at
+        any point leaves the table fully servable at either the old or the
+        new version; there is no window where the lake has forgotten it.
+        The data version bumps by one; metrics count one *update* (never a
+        remove plus an add). Updating an unknown table is an add.
         """
-        self.remove_table(table.name, persist_index=False)
-        return self.add_table(table)
+        old = self.records.get(table.name)
+        if old is None:
+            return self.add_table(table)
+        with obs.span("lake.update", table=table.name) as span:
+            record = self._compute_record(table)
+            record.version = old.version + 1
+            self.searcher.remove_table(table.name)
+            self.searcher.add_table(
+                record.name, record.column_names, record.column_vectors
+            )
+            self.records[table.name] = record
+            if self.store is not None:
+                self.store.save_table(record)
+                self._persist_index()
+        _TABLES_UPDATED.inc()
+        _INGEST_MS.observe(span.duration_ms)
+        return record
+
+    def append_rows(self, name: str, rows) -> LakeTableRecord:
+        """Merge ``rows`` into a stored table in O(delta) — no re-embed yet.
+
+        Only the delta is sketched; its sketches merge into the stored ones
+        (exact for the MinHash halves, accumulator-mergeable for the
+        numeric stats — see :mod:`repro.sketch.numeric` for the caps and
+        bounds). The served column vectors are *not* recomputed here: the
+        record's ``version`` bumps, ``embedding_stale`` is set, and the
+        next non-``allow_stale`` query (or an explicit
+        :meth:`refresh_stale`) re-embeds just this table's columns.
+
+        Each row must carry one string cell per column, in the stored
+        column order; cell types are interpreted under the column types
+        frozen at ingest. Raises ``KeyError`` for unknown tables and
+        ``ValueError`` on SBERT-enabled catalogs (the value-encoder half
+        needs the full raw column values, which the lake does not retain —
+        use :meth:`update_table` with the complete table there).
+        """
+        record = self.records.get(name)
+        if record is None:
+            raise KeyError(f"table {name!r} not in catalog")
+        rows = [list(row) for row in rows]
+        if not rows:
+            raise ValueError("append_rows needs at least one row")
+        if self.sbert is not None:
+            raise ValueError(
+                "append_rows is unavailable on SBERT-enabled catalogs: the "
+                "value-encoder half needs the full raw column values, which "
+                "the lake does not retain; use update_table with the "
+                "complete table instead"
+            )
+        sketch = record.sketch
+        if any(c.numeric_acc is None for c in sketch.column_sketches):
+            raise ValueError(
+                f"table {name!r} was ingested before mergeable sketch state "
+                "existed; update_table it once to enable appends"
+            )
+        with obs.span("lake.append", table=name, rows=len(rows)):
+            delta = table_from_rows(
+                name, sketch.column_names, rows, description=sketch.description
+            )
+            for column, stored in zip(delta.columns, sketch.column_sketches):
+                column.ctype = stored.ctype  # column types frozen at ingest
+            delta_sketch = sketch_table(delta, self.sketch_config, self._hasher)
+            merged = LakeTableRecord(
+                sketch=sketch.merge(delta_sketch),
+                column_vectors=record.column_vectors,  # stale but servable
+                table_embedding=record.table_embedding,
+                n_rows=record.n_rows + len(rows),
+                metadata=dict(record.metadata),
+                version=record.version + 1,
+                embedding_stale=True,
+            )
+            self.records[name] = merged
+            if self.store is not None:
+                self.store.save_table(merged)
+                if self.n_shards > 1:
+                    # The index content didn't change, but the shard's
+                    # mutation counter did — re-persist so the handshake
+                    # stays valid and the next open stays warm.
+                    self.searcher.index.mark_dirty(
+                        stable_shard(name, self.n_shards)
+                    )
+                self._persist_index()
+        _ROWS_APPENDED.inc(len(rows))
+        return merged
+
+    def stale_tables(self) -> list[str]:
+        """Names whose served vectors predate their sketch (append lag)."""
+        return [
+            name
+            for name, record in self.records.items()
+            if record.embedding_stale
+        ]
+
+    def refresh_stale(
+        self, names: "list[str] | None" = None, persist: bool = True
+    ) -> list[str]:
+        """Re-embed stale tables from their (already merged) sketches.
+
+        One batched engine pass for all of them — ``ceil(N / batch_size)``
+        forwards, so a single stale table costs exactly one forward. The
+        data ``version`` does not change (re-embedding is not a data
+        mutation); ``embedding_stale`` clears. ``persist=False`` refreshes
+        in memory only — how replicas serve fresh vectors without writing
+        into their read-only snapshot directory. Returns the refreshed
+        names.
+        """
+        if names is None:
+            names = self.stale_tables()
+        else:
+            names = [
+                n
+                for n in names
+                if n in self.records and self.records[n].embedding_stale
+            ]
+        if not names:
+            return []
+        with obs.span("lake.refresh", tables=len(names)):
+            embeddings = self._embed_sketches(
+                [self.records[n].sketch for n in names]
+            )
+            refreshed = []
+            for name, embedding in zip(names, embeddings):
+                record = self.records[name]
+                vectors = finalize_column_vectors(
+                    embedding.columns, record.sketch, sbert=self.sbert, table=None
+                )
+                stacked = (
+                    np.stack([vector for _, vector in vectors])
+                    if vectors
+                    else np.zeros((0, self.dim))
+                )
+                fresh = LakeTableRecord(
+                    sketch=record.sketch,
+                    column_vectors=stacked,
+                    table_embedding=embedding.table,
+                    n_rows=record.n_rows,
+                    metadata=dict(record.metadata),
+                    version=record.version,
+                    embedding_stale=False,
+                )
+                self.records[name] = fresh
+                self.searcher.remove_table(name)
+                self.searcher.add_table(
+                    name, fresh.column_names, fresh.column_vectors
+                )
+                refreshed.append(fresh)
+            if persist and self.store is not None:
+                self.store.save_tables(refreshed)
+                self._persist_index()
+        return names
 
     # ------------------------------------------------------------------ #
     def query_vectors(self, name: str) -> np.ndarray:
@@ -457,4 +619,8 @@ class LakeCatalog:
             "batch_size": self.batch_size,
             "sbert": self.sbert is not None,
             "n_shards": self.n_shards,
+            "stale_tables": len(self.stale_tables()),
+            "max_version": max(
+                (r.version for r in self.records.values()), default=0
+            ),
         }

@@ -232,6 +232,30 @@ class LakeClient:
     def add_table(self, table: Table) -> dict:
         return self.add_tables([table])
 
+    def update_table(self, table: Table) -> dict:
+        """``PUT /v1/tables`` — staged replacement; answers the new per-table
+        version. Not retried on transport failure (a resend would double the
+        version bump)."""
+        return self._request(
+            "PUT", "/v1/tables", {"table": table_to_dict(table)}
+        )
+
+    def append_rows(self, name: str, rows: "list[list[str]]") -> dict:
+        """``POST /v1/tables/{name}/rows`` — O(delta) sketch-merge append.
+
+        The response carries ``table_version`` and ``embedding_stale``
+        (``True`` until the server's next strict query or background sweep
+        re-embeds the table). Not retried on transport failure — a resend
+        would append the rows twice.
+        """
+        from urllib.parse import quote
+
+        return self._request(
+            "POST",
+            f"/v1/tables/{quote(name, safe='')}/rows",
+            {"rows": rows},
+        )
+
     def remove_table(self, name: str) -> dict:
         """``DELETE /v1/tables/{name}`` — raises not-found when absent."""
         from urllib.parse import quote

@@ -347,6 +347,11 @@ class ReplicaService:
                     f"generation {generation} loaded {len(catalog)} tables "
                     f"but its marker promises {marker.get('n_tables')}"
                 )
+            # A leader may publish between an append and its lazy
+            # re-embed; refresh eagerly here (persist=False — snapshot
+            # generations are shared read-only artifacts) so every query
+            # this replica answers serves fresh vectors.
+            catalog.refresh_stale(persist=False)
         except Exception as exc:  # noqa: BLE001 — refusal must never kill serving
             self._refuse(generation, repr(exc))
             return False
@@ -491,6 +496,9 @@ class ReplicaService:
 
     def update_table(self, table):
         self._read_only("update_table")
+
+    def append_rows(self, name: str, rows):
+        self._read_only("append_rows")
 
 
 __all__ = [

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.search.backend import IndexSpec, normalize_index_spec
 from repro.sketch.minhash import MinHash
-from repro.sketch.numeric import NumericalSketch, _PERCENTILES
+from repro.sketch.numeric import NumericAccumulator, NumericalSketch, _PERCENTILES
 from repro.sketch.pipeline import ColumnSketch, SketchConfig, TableSketch
 from repro.table.schema import ColumnType
 
@@ -160,6 +160,90 @@ def numeric_from_array(array: np.ndarray) -> NumericalSketch:
 
 
 # --------------------------------------------------------------------- #
+# NumericAccumulator
+# --------------------------------------------------------------------- #
+#: Per-column scalar row of the accumulator arrays: n_rows, n_nonnull,
+#: width_sum, is_numeric, n_numeric, total, total_sq, min_value, max_value,
+#: sample_exact, n_distinct, distinct_exact. Counts and flags ride float64
+#: losslessly (all are integers far below 2**53).
+ACC_SCALAR_DIM = 12
+
+
+def _pack_accumulators(
+    sketches: "list[ColumnSketch]",
+) -> "dict[str, np.ndarray] | None":
+    accs = [c.numeric_acc for c in sketches]
+    if any(a is None for a in accs):
+        # Legacy sketch state (pre-live-tables archive round-tripping
+        # through an update path) — omit the arrays rather than invent
+        # approximate accumulators; appends to such tables are refused.
+        return None
+    scalars = np.asarray(
+        [
+            [
+                a.n_rows,
+                a.n_nonnull,
+                a.width_sum,
+                float(a.is_numeric),
+                a.n_numeric,
+                a.total,
+                a.total_sq,
+                a.min_value,
+                a.max_value,
+                float(a.sample_exact),
+                a.n_distinct,
+                float(a.distinct_exact),
+            ]
+            for a in accs
+        ],
+        dtype=np.float64,
+    ).reshape(len(accs), ACC_SCALAR_DIM)
+    return {
+        "acc_scalars": scalars,
+        "acc_sample": np.concatenate([a.sample for a in accs])
+        if accs
+        else np.zeros(0, dtype=np.float64),
+        "acc_sample_len": np.asarray([len(a.sample) for a in accs], dtype=np.int64),
+        "acc_distinct": np.concatenate([a.distinct for a in accs])
+        if accs
+        else np.zeros(0, dtype=np.uint64),
+        "acc_distinct_len": np.asarray(
+            [len(a.distinct) for a in accs], dtype=np.int64
+        ),
+    }
+
+
+def _unpack_accumulator(arrays: dict[str, np.ndarray], i: int) -> NumericAccumulator:
+    row = arrays["acc_scalars"][i]
+    sample_lens = np.asarray(arrays["acc_sample_len"], dtype=np.int64)
+    distinct_lens = np.asarray(arrays["acc_distinct_len"], dtype=np.int64)
+    s0 = int(sample_lens[:i].sum())
+    d0 = int(distinct_lens[:i].sum())
+    sample = np.asarray(
+        arrays["acc_sample"][s0 : s0 + int(sample_lens[i])], dtype=np.float64
+    ).copy()
+    distinct = np.asarray(
+        arrays["acc_distinct"][d0 : d0 + int(distinct_lens[i])], dtype=np.uint64
+    ).copy()
+    return NumericAccumulator(
+        n_rows=int(row[0]),
+        n_nonnull=int(row[1]),
+        width_sum=int(row[2]),
+        is_numeric=bool(row[3]),
+        n_numeric=int(row[4]),
+        total=float(row[5]),
+        total_sq=float(row[6]),
+        min_value=float(row[7]),
+        max_value=float(row[8]),
+        sample=sample,
+        sample_exact=bool(row[9]),
+        n_distinct=int(row[10]),
+        distinct=distinct,
+        distinct_exact=bool(row[11]),
+    )
+
+
+# --------------------------------------------------------------------- #
 # TableSketch
 # --------------------------------------------------------------------- #
 def pack_table_sketch(sketch: TableSketch) -> tuple[dict[str, np.ndarray], dict]:
@@ -188,6 +272,9 @@ def pack_table_sketch(sketch: TableSketch) -> tuple[dict[str, np.ndarray], dict]
             [int(c.ctype) for c in sketch.column_sketches], dtype=np.int64
         ),
     }
+    acc_arrays = _pack_accumulators(sketch.column_sketches)
+    if acc_arrays is not None:
+        arrays.update(acc_arrays)
     meta = {
         "table_name": sketch.table_name,
         "description": sketch.description,
@@ -202,6 +289,7 @@ def unpack_table_sketch(arrays: dict[str, np.ndarray], meta: dict) -> TableSketc
     output."""
     config = SketchConfig(**meta["sketch_config"])
     columns = meta["columns"]
+    has_acc = "acc_scalars" in arrays  # absent in pre-live-tables archives
     column_sketches = [
         ColumnSketch(
             name=name,
@@ -210,6 +298,7 @@ def unpack_table_sketch(arrays: dict[str, np.ndarray], meta: dict) -> TableSketc
             words_minhash=minhash_from_array(arrays["words_sig"][i]),
             numeric=numeric_from_array(arrays["numeric_stats"][i]),
             n_values=int(arrays["n_values"][i]),
+            numeric_acc=_unpack_accumulator(arrays, i) if has_acc else None,
         )
         for i, name in enumerate(columns)
     ]

@@ -15,6 +15,10 @@ Endpoints (all JSON, all versioned under ``/v1``):
 ``POST /v1/query_batch``  ``{"requests": [...]}`` -> ``{"results": [...]}``
                           (uncached externals embed in one batched pass)
 ``POST /v1/tables``       ``{"tables": [<table payload>...]}`` ingest
+``PUT /v1/tables``        ``{"table": <table payload>}`` replace one table
+                          (staged, crash-safe); answers the new version
+``POST /v1/tables/N/rows``  ``{"rows": [[...], ...]}`` append rows; sketches
+                          merge in O(delta), embedding marked stale
 ``DELETE /v1/tables/N``   drop one table (404 when absent)
 ``GET /v1/stats``         service statistics + schema version
 ``GET /v1/healthz``       liveness probe
@@ -320,7 +324,11 @@ class LakeServer:
     def _route_label(method: str, path: str) -> str:
         """Collapse per-resource paths so label cardinality stays bounded."""
         if path.startswith("/v1/tables/"):
-            path = "/v1/tables/{name}"
+            path = (
+                "/v1/tables/{name}/rows"
+                if path.endswith("/rows")
+                else "/v1/tables/{name}"
+            )
         return f"{method} {path}"
 
     def _decode_body(self, body: bytes) -> dict:
@@ -383,6 +391,44 @@ class LakeServer:
                 "version": API_VERSION,
                 "added": len(added),
                 "n_tables": len(self.service.catalog),
+            }
+        if path == "/v1/tables" and method == "PUT":
+            payload = self._decode_body(body)
+            raw_table = payload.get("table")
+            if not isinstance(raw_table, dict):
+                raise bad_request("update body needs a 'table' object")
+            table = table_from_dict(raw_table)
+            record = self.service.update_table(table)
+            return 200, {
+                "version": API_VERSION,
+                "updated": table.name,
+                "table_version": record.version,
+                "n_tables": len(self.service.catalog),
+            }
+        if (
+            path.startswith("/v1/tables/")
+            and path.endswith("/rows")
+            and method == "POST"
+        ):
+            name = unquote(path[len("/v1/tables/") : -len("/rows")])
+            payload = self._decode_body(body)
+            raw_rows = payload.get("rows")
+            if not isinstance(raw_rows, list) or not raw_rows:
+                raise bad_request("append body needs a non-empty 'rows' list")
+            for row in raw_rows:
+                if not isinstance(row, list) or not all(
+                    isinstance(cell, str) for cell in row
+                ):
+                    raise bad_request(
+                        "append rows must be lists of string cells"
+                    )
+            record = self.service.append_rows(name, raw_rows)
+            return 200, {
+                "version": API_VERSION,
+                "table": name,
+                "appended": len(raw_rows),
+                "table_version": record.version,
+                "embedding_stale": record.embedding_stale,
             }
         if path.startswith("/v1/tables/") and method == "DELETE":
             name = unquote(path[len("/v1/tables/") :])

@@ -284,6 +284,7 @@ class LakeService:
             ):
                 dropped += 1
                 continue
+            record = self.catalog.records.get(match.table)
             hits.append(
                 Hit(
                     table=match.table,
@@ -294,6 +295,8 @@ class LakeService:
                         ColumnMatch(query_column=q, table_column=c, distance=d)
                         for q, c, d in match.matches
                     ),
+                    version=record.version if record is not None else None,
+                    stale=record.embedding_stale if record is not None else None,
                 )
             )
             if len(hits) >= request.k:
@@ -321,6 +324,33 @@ class LakeService:
         request = request.validated()
         with obs.span("lake.discover", mode=request.mode) as root:
             self._check_fingerprint(request)
+            refreshed: list[str] = []
+            if not request.allow_stale:
+                # Lazy re-embed: appended tables serve stale vectors until
+                # the first query that won't tolerate them, which pays one
+                # batched embedding pass for *only* the stale tables.
+                with self._lock:
+                    if self.catalog.stale_tables():
+                        refreshed = self.catalog.refresh_stale()
+            if request.pin_version is not None:
+                with self._lock:
+                    pinned = self.catalog.records.get(request.table)
+                    if pinned is not None:
+                        if pinned.version != request.pin_version:
+                            raise DiscoveryError(
+                                "version-conflict",
+                                f"table {request.table!r} is at version "
+                                f"{pinned.version}, not pinned version "
+                                f"{request.pin_version}",
+                            )
+                        if pinned.embedding_stale:
+                            raise DiscoveryError(
+                                "version-conflict",
+                                f"table {request.table!r} matches pinned "
+                                f"version {request.pin_version} but its "
+                                "embedding is stale; retry without "
+                                "allow_stale to refresh it first",
+                            )
             pairs, exclude, diag = (
                 _resolved if _resolved is not None else self._resolve(request)
             )
@@ -351,6 +381,8 @@ class LakeService:
                 }
                 if diag.get("batched"):
                     diagnostics["batched"] = diag["batched"]
+                if refreshed:
+                    diagnostics["refreshed"] = len(refreshed)
             request_id = obs.request_id()
             if request_id is not None:
                 diagnostics["request_id"] = request_id
@@ -606,6 +638,21 @@ class LakeService:
             record = self.catalog.update_table(table)
             self.ingest_count += 1
             return record
+
+    def append_rows(self, name: str, rows):
+        """Append rows to a catalog member; sketches merge in O(delta).
+
+        The table's embedding goes stale until the next strict query (or
+        an explicit refresh) re-embeds it. Unknown names surface as the
+        API's typed ``not-found`` so every transport maps them to 404.
+        """
+        with self._lock:
+            try:
+                return self.catalog.append_rows(name, rows)
+            except KeyError:
+                raise DiscoveryError(
+                    "not-found", f"table {name!r} not in catalog"
+                ) from None
 
     # ------------------------------------------------------------------ #
     def stats(self) -> dict:

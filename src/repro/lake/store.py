@@ -133,6 +133,13 @@ class LakeTableRecord:
     table_embedding: np.ndarray  # (dim,)
     n_rows: int = 0
     metadata: dict = field(default_factory=dict)
+    #: Monotonic per-table data version: 1 at ingest, bumped by every data
+    #: mutation (append/update). Re-embedding does *not* bump it — the
+    #: version tracks what the data is, not how fresh its vectors are.
+    version: int = 1
+    #: True when the sketch has absorbed appended rows the served vectors
+    #: don't reflect yet; cleared by the lazy re-embed.
+    embedding_stale: bool = False
 
     @property
     def name(self) -> str:
@@ -165,6 +172,9 @@ class LakeShard:
         #: Position in the owning store's shard list (0 for flat lakes) —
         #: the ``shard`` label on this shard's flush metrics.
         self.shard_id = int(shard_id)
+        #: Replaced archives staged for deletion after the next manifest
+        #: flush (see :meth:`_write_table`).
+        self._pending_unlink: list[Path] = []
         manifest_path = self.root / MANIFEST_NAME
         if manifest_path.exists():
             manifest = read_json(manifest_path)
@@ -172,6 +182,7 @@ class LakeShard:
             if found != fingerprint:
                 raise FingerprintMismatchError(fingerprint, found)
             self._manifest = manifest
+            self._sweep_orphans()
         else:
             self._manifest = {
                 "format_version": FORMAT_VERSION,
@@ -212,6 +223,21 @@ class LakeShard:
         write_json(temporary, self._manifest)
         os.replace(temporary, path)
 
+    def _sweep_orphans(self) -> None:
+        """Delete table archives the manifest does not reference.
+
+        A crash inside the staged-replace window (:meth:`_write_table`)
+        leaves exactly one orphan: either the freshly written replacement
+        (manifest never flushed — the table still serves its old bytes) or
+        the replaced original (manifest flushed, unlink pending — the table
+        serves its new bytes). Either way the orphan is dead data whose id
+        may be reallocated, so it goes at open time.
+        """
+        live = {entry["file"] for entry in self._manifest["tables"]}
+        for path in sorted((self.root / TABLES_DIR).glob("*.npz")):
+            if f"{TABLES_DIR}/{path.name}" not in live:
+                path.unlink()
+
     def _entry(self, name: str) -> dict | None:
         return self._by_name.get(name)
 
@@ -222,13 +248,19 @@ class LakeShard:
     # ------------------------------------------------------------------ #
     def _write_table(self, record: LakeTableRecord, seq: int | None = None) -> None:
         """Write the npz *first*, then mutate the manifest — a failed array
-        write must not leave a half-built entry for a later flush."""
+        write must not leave a half-built entry for a later flush.
+
+        A replace is **staged**: the replacement always goes to a freshly
+        allocated archive, the manifest entry is repointed, and the old
+        archive is only unlinked *after* the manifest flush lands
+        (:meth:`_drain_unlinks`). The live archive is never overwritten in
+        place, so a crash at any instant leaves the table fully servable at
+        either the old or the new version; the loser of the race is an
+        unreferenced archive swept at the next open.
+        """
         existing = self._entry(record.name)
-        if existing is None:
-            file_id = self._manifest["next_id"]
-            file_rel = f"{TABLES_DIR}/t{file_id:06d}.npz"
-        else:
-            file_rel = existing["file"]
+        file_id = self._manifest["next_id"]
+        file_rel = f"{TABLES_DIR}/t{file_id:06d}.npz"
         arrays, meta = pack_table_sketch(record.sketch)
         arrays["column_vectors"] = np.asarray(record.column_vectors, dtype=np.float64)
         arrays["table_embedding"] = np.asarray(record.table_embedding, dtype=np.float64)
@@ -244,19 +276,30 @@ class LakeShard:
             # Recorded at write time so stats() never has to stat the file.
             "disk_bytes": disk_bytes,
             "metadata": record.metadata,
+            "version": int(record.version),
+            "embedding_stale": bool(record.embedding_stale),
         }
+        self._manifest["next_id"] += 1
         if existing is None:
             if seq is not None:
                 fields["seq"] = int(seq)
-            self._manifest["next_id"] += 1
             self._manifest["tables"].append(fields)
             self._by_name[record.name] = fields
         else:
             # A replace keeps its manifest slot *and* its global seq — same
             # semantics as the flat layout, where a replaced entry keeps its
             # position in the ordered list.
+            old_rel = existing["file"]
             existing.update(fields)
+            self._pending_unlink.append(self.root / old_rel)
         self._bump_mutation_counter()
+
+    def _drain_unlinks(self) -> None:
+        """Remove replaced archives now that the manifest flush landed."""
+        while self._pending_unlink:
+            path = self._pending_unlink.pop()
+            if path.exists():
+                path.unlink()
 
     def _bump_mutation_counter(self) -> int:
         value = int(self._manifest.get("mutation_counter", 0)) + 1
@@ -268,6 +311,7 @@ class LakeShard:
         with obs.span("store.flush", shard=self.shard_id) as flush:
             self._write_table(record, seq=seq)
             self._flush()
+            self._drain_unlinks()
         _FLUSH_MS.labels(shard=str(self.shard_id)).observe(flush.duration_ms)
 
     def save_tables(
@@ -282,6 +326,7 @@ class LakeShard:
             for record, seq in zip(records, seqs):
                 self._write_table(record, seq=seq)
             self._flush()
+            self._drain_unlinks()
         _FLUSH_MS.labels(shard=str(self.shard_id)).observe(flush.duration_ms)
 
     def load_table(self, name: str) -> LakeTableRecord:
@@ -300,6 +345,10 @@ class LakeShard:
             table_embedding=arrays["table_embedding"],
             n_rows=int(entry.get("n_rows", 0)),
             metadata=dict(entry.get("metadata", {})),
+            # Defaults cover pre-live-tables manifests: one data version,
+            # vectors assumed fresh.
+            version=int(entry.get("version", 1)),
+            embedding_stale=bool(entry.get("embedding_stale", False)),
         )
 
     def load_all(self) -> Iterator[LakeTableRecord]:

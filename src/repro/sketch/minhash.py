@@ -46,6 +46,21 @@ class MinHash:
     def is_empty(self) -> bool:
         return bool(np.all(self.signature == _EMPTY_SLOT))
 
+    def merge(self, other: "MinHash") -> "MinHash":
+        """Signature of the *union* of the two underlying sets — exact.
+
+        Slotwise ``min(sig_a, sig_b)`` equals ``min_{x in A ∪ B} h_i(x)``
+        by associativity of ``min``, so merging sketches is lossless: the
+        merged signature is bit-identical to sketching the union directly.
+        The empty-set sentinel is the ``uint64`` maximum, so empty inputs
+        need no special casing.
+        """
+        if self.num_perm != other.num_perm:
+            raise ValueError(
+                f"signature lengths differ: {self.num_perm} vs {other.num_perm}"
+            )
+        return MinHash(np.minimum(self.signature, other.signature))
+
     def normalized(self) -> np.ndarray:
         """Signature scaled to [0, 1] floats — the model-input form (§III-B.5)."""
         return self.signature.astype(np.float64) / _U64_SCALE

@@ -21,7 +21,11 @@ import numpy as np
 
 from repro.sketch.content import CONTENT_SNAPSHOT_ROWS, content_snapshot
 from repro.sketch.minhash import DEFAULT_NUM_PERM, MinHash, MinHasher
-from repro.sketch.numeric import NumericalSketch, numerical_sketch
+from repro.sketch.numeric import (
+    NumericAccumulator,
+    NumericalSketch,
+    numerical_profile,
+)
 from repro.table.schema import Column, ColumnType, Table
 
 
@@ -52,6 +56,41 @@ class ColumnSketch:
     words_minhash: MinHash  # empty signature for non-string columns
     numeric: NumericalSketch
     n_values: int  # distinct non-null count, for containment estimation
+    #: Mergeable state behind ``numeric`` / ``n_values``. ``None`` only on
+    #: sketches deserialized from a pre-live-tables store; such columns
+    #: cannot be appended to until the table is re-ingested or updated.
+    numeric_acc: NumericAccumulator | None = None
+
+    def merge(self, delta: "ColumnSketch") -> "ColumnSketch":
+        """Sketch of this column with ``delta``'s rows appended.
+
+        MinHash halves merge exactly (slotwise min); the numerical state
+        merges through :class:`NumericAccumulator` (exact under its caps,
+        documented approximation beyond). The column type is frozen at
+        ingest: the delta must have been sketched with this column's type.
+        """
+        if self.name != delta.name:
+            raise ValueError(f"column name mismatch: {self.name!r} vs {delta.name!r}")
+        if self.ctype != delta.ctype:
+            raise ValueError(
+                f"column {self.name!r}: delta sketched as {delta.ctype.name}, "
+                f"stored column is {self.ctype.name}"
+            )
+        if self.numeric_acc is None or delta.numeric_acc is None:
+            raise ValueError(
+                f"column {self.name!r} predates mergeable sketch state; "
+                "re-ingest or update the table before appending"
+            )
+        acc = self.numeric_acc.merge(delta.numeric_acc)
+        return ColumnSketch(
+            name=self.name,
+            ctype=self.ctype,
+            values_minhash=self.values_minhash.merge(delta.values_minhash),
+            words_minhash=self.words_minhash.merge(delta.words_minhash),
+            numeric=acc.to_sketch(),
+            n_values=acc.n_distinct,
+            numeric_acc=acc,
+        )
 
     def minhash_vector(self, num_perm: int) -> np.ndarray:
         """The concatenated [values ‖ words] MinHash model input.
@@ -102,6 +141,35 @@ class TableSketch:
         vec[: self.config.num_perm] = slot_features(self.snapshot)
         return vec
 
+    def merge(self, delta: "TableSketch") -> "TableSketch":
+        """Sketch of this table with ``delta``'s rows appended — O(delta).
+
+        The delta must carry the same column names in the same order and
+        the same :class:`SketchConfig` (same hash family). Column sketches
+        merge pairwise; the content snapshot merges by MinHash union. Note
+        the snapshot caveat: a cold rebuild only snapshots the first
+        ``config.snapshot_rows`` rows, while merged snapshots cover every
+        appended row — merge-vs-rebuild snapshot parity therefore holds
+        exactly while the total row count stays under that limit.
+        """
+        if self.config != delta.config:
+            raise ValueError("sketch configs differ; cannot merge")
+        if self.column_names != delta.column_names:
+            raise ValueError(
+                f"column mismatch: table has {self.column_names}, "
+                f"delta has {delta.column_names}"
+            )
+        return TableSketch(
+            table_name=self.table_name,
+            description=self.description,
+            column_sketches=[
+                ours.merge(theirs)
+                for ours, theirs in zip(self.column_sketches, delta.column_sketches)
+            ],
+            snapshot=self.snapshot.merge(delta.snapshot),
+            config=self.config,
+        )
+
 
 def sketch_column(column: Column, hasher: MinHasher) -> ColumnSketch:
     """Sketch one column: values MinHash, words MinHash, numerical sketch."""
@@ -111,13 +179,15 @@ def sketch_column(column: Column, hasher: MinHasher) -> ColumnSketch:
         words_mh = hasher.sketch_tokens(non_null)
     else:
         words_mh = hasher.sketch(())
+    numeric, acc = numerical_profile(column)
     return ColumnSketch(
         name=column.name,
         ctype=column.inferred_type,
         values_minhash=values_mh,
         words_minhash=words_mh,
-        numeric=numerical_sketch(column),
+        numeric=numeric,
         n_values=len(set(non_null)),
+        numeric_acc=acc,
     )
 
 

@@ -319,6 +319,97 @@ def test_torn_shard_manifest_degrades_one_shard_only(tmp_path, tiny_sketch_confi
     assert set(reopened.table_names()) == {record.name for record in records}
 
 
+def test_update_crash_during_array_write_keeps_old_version(
+    tmp_path, city_table, tiny_sketch_config, monkeypatch
+):
+    """The staged-replace guarantee: a crash while writing the replacement
+    archive must leave the table fully servable at its *old* version —
+    never the remove-then-re-add hole where the lake forgets the table."""
+    store = LakeStore(tmp_path, "fp")
+    old = _record(city_table, tiny_sketch_config, seed=1)
+    store.save_table(old)
+    replacement = _record(city_table, tiny_sketch_config, seed=2)
+    replacement.version = 2
+    monkeypatch.setattr(
+        np, "savez", lambda *a, **k: (_ for _ in ()).throw(OSError("kill -9"))
+    )
+    with pytest.raises(OSError, match="kill -9"):
+        store.save_table(replacement)
+    monkeypatch.undo()
+    reopened = LakeStore.open(tmp_path, expected_fingerprint="fp")
+    loaded = reopened.load_table("cities")
+    assert loaded.version == 1
+    assert np.array_equal(loaded.column_vectors, old.column_vectors)
+
+
+def test_update_crash_before_manifest_flush_keeps_old_version(
+    tmp_path, city_table, tiny_sketch_config, monkeypatch
+):
+    """Crash after the replacement archive is on disk but before the
+    manifest flush: the reopened store serves the old version, and the
+    orphaned replacement archive is swept at open."""
+    from repro.lake.store import LakeShard
+
+    store = LakeStore(tmp_path, "fp")
+    old = _record(city_table, tiny_sketch_config, seed=1)
+    store.save_table(old)
+    replacement = _record(city_table, tiny_sketch_config, seed=2)
+    replacement.version = 2
+    monkeypatch.setattr(
+        LakeShard,
+        "_flush",
+        lambda self: (_ for _ in ()).throw(OSError("kill -9")),
+    )
+    with pytest.raises(OSError, match="kill -9"):
+        store.save_table(replacement)
+    monkeypatch.undo()
+    assert len(_table_archives(tmp_path)) == 2  # old + orphaned replacement
+    reopened = LakeStore.open(tmp_path, expected_fingerprint="fp")
+    loaded = reopened.load_table("cities")
+    assert loaded.version == 1
+    assert np.array_equal(loaded.column_vectors, old.column_vectors)
+    assert len(_table_archives(tmp_path)) == 1  # the orphan was swept
+    # The store is fully writable again: the retried update lands.
+    reopened.save_table(replacement)
+    assert LakeStore.open(tmp_path).load_table("cities").version == 2
+
+
+def test_update_crash_before_unlink_serves_new_version(
+    tmp_path, city_table, tiny_sketch_config, monkeypatch
+):
+    """Crash after the manifest flush but before the replaced archive is
+    unlinked: the new version serves; the stale original is swept."""
+    from repro.lake.store import LakeShard
+
+    store = LakeStore(tmp_path, "fp")
+    store.save_table(_record(city_table, tiny_sketch_config, seed=1))
+    replacement = _record(city_table, tiny_sketch_config, seed=2)
+    replacement.version = 2
+    monkeypatch.setattr(LakeShard, "_drain_unlinks", lambda self: None)
+    store.save_table(replacement)
+    monkeypatch.undo()
+    assert len(_table_archives(tmp_path)) == 2  # replaced original lingers
+    reopened = LakeStore.open(tmp_path, expected_fingerprint="fp")
+    loaded = reopened.load_table("cities")
+    assert loaded.version == 2
+    assert np.array_equal(loaded.column_vectors, replacement.column_vectors)
+    assert len(_table_archives(tmp_path)) == 1
+
+
+def test_replacement_never_overwrites_live_archive(
+    tmp_path, city_table, tiny_sketch_config
+):
+    """Every replace goes to a freshly allocated file id — the live npz is
+    never rewritten in place, so no torn-archive window exists."""
+    store = LakeStore(tmp_path, "fp")
+    store.save_table(_record(city_table, tiny_sketch_config, seed=1))
+    first = _table_archives(tmp_path)
+    store.save_table(_record(city_table, tiny_sketch_config, seed=2))
+    second = _table_archives(tmp_path)
+    assert len(first) == len(second) == 1
+    assert first[0].name != second[0].name
+
+
 def test_torn_shard_index_rebuilds_that_shard_others_stay_warm(
     tmp_path, lake_embedder, lake_tables
 ):
