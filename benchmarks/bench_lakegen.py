@@ -1,0 +1,129 @@
+"""Scenario-harness bench — the lakegen generate/churn/score loop, measured.
+
+Not a paper table: quantifies the synthetic-lake harness itself. One
+full scenario over a planted lake (in-process target): provision every
+manifest table, replay a mixed churn blend, evaluate recall@k against
+the planted truth, and build the scorecard from the scraped registry.
+Reported phases:
+
+- **generate** — manifest planning throughput (columns/s) at bench scale;
+- **provision** — tables/s through the embedding pipeline;
+- **churn** — ops/s for the default query-heavy blend;
+- **recall** — planted-truth recall@10 per mode after churn.
+
+The ``benchmark`` fixture times the manifest generation kernel, so
+``pytest benchmarks/ --benchmark-only`` also reports it.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.common import emit
+from repro import obs
+from repro.lakegen.driver import (
+    ChurnSpec,
+    ServiceTarget,
+    build_service,
+    evaluate_recall,
+    provision,
+    run_churn,
+)
+from repro.lakegen.generator import LakeSpec, generate_manifest
+from repro.lakegen.scorecard import build_scorecard, latency_quantiles
+
+COLUMNS = 600
+CHURN_OPS = 120
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    spec = LakeSpec(columns=COLUMNS, seed=7)
+
+    started = time.perf_counter()
+    manifest = generate_manifest(spec)
+    generate_s = time.perf_counter() - started
+
+    obs.get_registry().reset()
+    target = ServiceTarget(build_service(manifest, sample_tables=24))
+
+    started = time.perf_counter()
+    provisioned = provision(target, manifest)
+    provision_s = time.perf_counter() - started
+
+    churn = ChurnSpec(ops=CHURN_OPS, seed=11)
+    started = time.perf_counter()
+    churn_record = run_churn(target, manifest, churn)
+    churn_s = time.perf_counter() - started
+
+    recall = evaluate_recall(target, manifest, k=10, max_eval=60)
+    metrics = target.metrics()
+    latency = latency_quantiles(metrics["metrics"])
+    return {
+        "spec": spec,
+        "manifest": manifest,
+        "generate_s": generate_s,
+        "provisioned": provisioned,
+        "provision_s": provision_s,
+        "churn_record": churn_record,
+        "churn_s": churn_s,
+        "recall": recall,
+        "latency": latency,
+    }
+
+
+def test_scenario_harness(experiment, benchmark):
+    manifest = experiment["manifest"]
+    totals = manifest["totals"]
+
+    benchmark(generate_manifest, experiment["spec"])
+
+    rows = [
+        {
+            "phase": "generate",
+            "wall_s": round(experiment["generate_s"], 4),
+            "throughput": f"{totals['columns'] / experiment['generate_s']:.0f} cols/s",
+        },
+        {
+            "phase": "provision",
+            "wall_s": round(experiment["provision_s"], 4),
+            "throughput": f"{experiment['provisioned'] / experiment['provision_s']:.1f} tables/s",
+        },
+        {
+            "phase": "churn",
+            "wall_s": round(experiment["churn_s"], 4),
+            "throughput": f"{CHURN_OPS / experiment['churn_s']:.1f} ops/s",
+        },
+    ]
+    for mode, stats in experiment["recall"].items():
+        rows.append({
+            "phase": f"recall@10 [{mode}]",
+            "wall_s": "",
+            "throughput": f"{stats['recall_at_k']:.3f} over {stats['evaluated']}",
+        })
+
+    # The harness's own invariants hold at bench scale too.
+    assert experiment["provisioned"] == totals["tables"]
+    assert experiment["churn_record"]["errors"] == {}
+    assert experiment["recall"]["union"]["recall_at_k"] >= 0.5
+    assert all(entry["p95"] is not None for entry in experiment["latency"].values())
+
+    emit(
+        "lakegen_harness",
+        f"lakegen scenario harness ({totals['columns']} columns, "
+        f"{CHURN_OPS} churn ops)",
+        rows,
+        extra={
+            "totals": totals,
+            "churn": {
+                "counts": experiment["churn_record"]["counts"],
+                "appended_rows": experiment["churn_record"]["appended_rows"],
+            },
+            "latency_ms": {
+                label: {q: stats[q] for q in ("p50", "p95", "p99")}
+                for label, stats in experiment["latency"].items()
+            },
+        },
+    )

@@ -9,6 +9,7 @@ Commands::
     replica --snapshots DIR [--port P]  # read-only server over snapshots
     frontend --backends H:P,H:P [...]   # round-robin proxy over replicas
     append  --lake LAKE --table NAME --csv FILE  # O(delta) row append
+    refresh --lake LAKE [--tables N,N]  # eagerly re-embed stale tables
     update  --lake LAKE --csv FILE      # staged table replace (version bump)
     remove  --lake LAKE --table NAME    # drop one table (incremental)
     reshard --lake LAKE --shards N      # migrate to an N-shard layout
@@ -372,12 +373,23 @@ def cmd_frontend(args: argparse.Namespace) -> None:
         sys.exit(f"error: {exc}")
 
     async def run() -> None:
-        frontend = LakeFrontend(backends, host=args.host, port=args.port)
+        frontend = LakeFrontend(
+            backends,
+            host=args.host,
+            port=args.port,
+            health_interval=args.health_interval,
+        )
         await frontend.start()
         listed = ",".join(f"{h}:{p}" for h, p in backends)
+        probing = (
+            f", health probes every {args.health_interval}s"
+            if args.health_interval > 0
+            else ""
+        )
         print(
             f"lake frontend listening on http://{args.host}:{frontend.port} "
-            f"[round-robin over {len(backends)} backend(s): {listed}]",
+            f"[round-robin over {len(backends)} backend(s): {listed}"
+            f"{probing}]",
             flush=True,
         )
         try:
@@ -426,6 +438,40 @@ def cmd_append(args: argparse.Namespace) -> None:
             f"appended {len(rows)} rows to {args.table!r} "
             f"[version {record.version}, embedding stale until the next "
             "strict query re-embeds it]"
+        )
+
+
+def cmd_refresh(args: argparse.Namespace) -> None:
+    if args.lake is None and args.server is None:
+        sys.exit("error: refresh needs --lake (local) or --server HOST:PORT")
+    if args.lake is not None and args.server is not None:
+        sys.exit("error: --lake and --server are mutually exclusive")
+    tables = (
+        [name for name in args.tables.split(",") if name]
+        if args.tables is not None
+        else None
+    )
+    if args.server is not None:
+        host, port = _parse_server(args.server)
+        try:
+            with LakeClient(host=host, port=port) as client:
+                answer = client.refresh_stale(tables)
+        except OSError as exc:
+            sys.exit(f"error: cannot reach server {args.server}: {exc}")
+        refreshed = answer["refreshed"]
+        print(
+            f"refreshed {len(refreshed)} stale table(s)"
+            + (f": {', '.join(refreshed)}" if refreshed else "")
+            + f" [{answer['stale_remaining']} still stale]"
+        )
+    else:
+        service = _load_service(args.lake)
+        refreshed = service.refresh_stale(tables)
+        remaining = len(service.catalog.stale_tables())
+        print(
+            f"refreshed {len(refreshed)} stale table(s)"
+            + (f": {', '.join(refreshed)}" if refreshed else "")
+            + f" [{remaining} still stale]"
         )
 
 
@@ -757,6 +803,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=0,
         help="listen port (default 0 = ephemeral; the bound port is printed)",
     )
+    frontend.add_argument(
+        "--health-interval", type=float, default=0.0,
+        help="seconds between /v1/stats health probes; unhealthy or "
+             "stale-generation backends leave rotation until a probe "
+             "clears them (default 0 = probing off)",
+    )
     frontend.set_defaults(func=cmd_frontend)
 
     append = sub.add_parser(
@@ -778,6 +830,24 @@ def build_parser() -> argparse.ArgumentParser:
              "stored table's column order",
     )
     append.set_defaults(func=cmd_append)
+
+    refresh = sub.add_parser(
+        "refresh",
+        help="eagerly re-embed stale tables (the operator-facing twin of "
+             "the lazy refresh a strict query pays implicitly): one "
+             "batched pass over everything stale, or --tables to restrict",
+    )
+    refresh.add_argument("--lake", default=None, help="lake directory (local)")
+    refresh.add_argument(
+        "--server", default=None, metavar="HOST:PORT",
+        help="refresh through a running `serve` instance (POST /v1/refresh)",
+    )
+    refresh.add_argument(
+        "--tables", default=None, metavar="NAME,NAME",
+        help="comma-separated table names to restrict the sweep "
+             "(default: every stale table)",
+    )
+    refresh.set_defaults(func=cmd_refresh)
 
     update = sub.add_parser(
         "update",

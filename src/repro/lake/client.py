@@ -256,6 +256,16 @@ class LakeClient:
             {"rows": rows},
         )
 
+    def refresh_stale(self, tables: "list[str] | None" = None) -> dict:
+        """``POST /v1/refresh`` — eagerly re-embed stale tables server-side.
+
+        ``tables=None`` sweeps everything stale; a list restricts the
+        sweep. The response carries the ``refreshed`` names and the
+        ``stale_remaining`` count.
+        """
+        payload = {"tables": tables} if tables is not None else {}
+        return self._request("POST", "/v1/refresh", payload)
+
     def remove_table(self, name: str) -> dict:
         """``DELETE /v1/tables/{name}`` — raises not-found when absent."""
         from urllib.parse import quote

@@ -19,10 +19,19 @@ Behavior:
   query POSTs), mirroring :class:`~repro.lake.client.LakeClient`'s
   retry rule. With every backend down, the typed ``unavailable``
   envelope (503) goes back to the caller.
+- **Health-aware routing** (opt-in via ``health_interval``): a timer
+  task probes every backend's ``GET /v1/stats`` on the interval. Probes
+  that fail, replicas reporting ``available: false``, and replicas
+  serving a *stale generation* (behind the newest generation any healthy
+  replica reports) are taken out of rotation until a later probe clears
+  them. Routing fails open — with every backend marked out, dispatch
+  falls back to the full list rather than refusing traffic on the word
+  of a possibly-wrong prober. A forward failure also marks its backend
+  unhealthy immediately (the probe is the only thing that re-adds it).
 - ``GET /v1/replicas`` is answered by the frontend itself: the backend
-  list with per-backend request/failure counters — the handshake surface
-  for checking which generation each replica serves (callers then hit the
-  backends' ``/v1/stats`` directly for the full replica info).
+  list with per-backend request/failure counters — plus, when health
+  probing is on, each backend's ``healthy`` flag, last-seen replica
+  ``generation``, and probe count.
 
 :class:`FrontendThread` hosts the loop on a daemon thread for tests and
 benchmarks; ``python -m repro.lake frontend`` is the CLI entry point.
@@ -31,6 +40,7 @@ benchmarks; ``python -m repro.lake frontend`` is the CLI entry point.
 from __future__ import annotations
 
 import asyncio
+import json
 import threading
 
 from repro import obs
@@ -46,6 +56,13 @@ _FAILOVERS = obs.counter(
     "frontend_failovers_total",
     "Requests that failed over to another backend after a backend error",
 )
+_UNHEALTHY_SKIPS = obs.counter(
+    "frontend_unhealthy_skips_total",
+    "Dispatch decisions that excluded at least one unhealthy/stale backend",
+)
+
+#: Per-probe deadline (connect + response), seconds.
+_PROBE_TIMEOUT = 2.0
 
 #: Routes safe to retry on another backend (same rule as LakeClient).
 _READ_ONLY_POSTS = ("/v1/query", "/v1/query_batch")
@@ -64,20 +81,36 @@ class LakeFrontend:
         backends: "list[tuple[str, int]]",
         host: str = "127.0.0.1",
         port: int = 0,
+        health_interval: float = 0.0,
     ):
         if not backends:
             raise ValueError("frontend needs at least one backend")
+        if health_interval < 0:
+            raise ValueError(
+                f"health_interval must be >= 0, got {health_interval}"
+            )
         self.backends = list(backends)
         self.host = host
         self.port = port
+        #: Seconds between ``/v1/stats`` health probes; 0 disables probing
+        #: (every backend stays permanently in rotation — the pre-health
+        #: behavior).
+        self.health_interval = health_interval
         self._next = 0
         self._server: asyncio.AbstractServer | None = None
+        self._prober: asyncio.Task | None = None
         #: Idle pooled connections per backend index.
         self._pools: dict[int, list[tuple[asyncio.StreamReader, asyncio.StreamWriter]]] = {
             i: [] for i in range(len(backends))
         }
         self.requests_by_backend = [0] * len(backends)
         self.failures_by_backend = [0] * len(backends)
+        #: Health record per backend. Backends start healthy so nothing is
+        #: skipped before the first probe has actually observed anything.
+        self.health = [
+            {"healthy": True, "generation": None, "probes": 0, "error": None}
+            for _ in backends
+        ]
 
     # ------------------------------------------------------------------ #
     async def start(self) -> "LakeFrontend":
@@ -85,6 +118,8 @@ class LakeFrontend:
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.health_interval > 0:
+            self._prober = asyncio.create_task(self._probe_loop())
         return self
 
     async def serve_forever(self) -> None:
@@ -92,6 +127,13 @@ class LakeFrontend:
         await self._server.serve_forever()
 
     async def close(self) -> None:
+        if self._prober is not None:
+            self._prober.cancel()
+            try:
+                await self._prober
+            except asyncio.CancelledError:
+                pass
+            self._prober = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -99,6 +141,102 @@ class LakeFrontend:
             for _, writer in pool:
                 writer.close()
             pool.clear()
+
+    # ------------------------------------------------------------------ #
+    # Health probing
+    # ------------------------------------------------------------------ #
+    async def _probe_loop(self) -> None:
+        while True:
+            await self.probe_all()
+            await asyncio.sleep(self.health_interval)
+
+    async def probe_all(self) -> None:
+        """One probe round over every backend (the timer body; tests call
+        it directly instead of waiting out the interval)."""
+        await asyncio.gather(
+            *(self._probe(i) for i in range(len(self.backends)))
+        )
+
+    async def _probe(self, index: int) -> None:
+        """``GET /v1/stats`` on a dedicated short-deadline connection (the
+        request pools stay untouched — a slow probe must not steal a
+        pooled connection from live traffic)."""
+        host, port = self.backends[index]
+        record = self.health[index]
+        record["probes"] += 1
+        writer = None
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), _PROBE_TIMEOUT
+            )
+            writer.write(
+                (
+                    f"GET /v1/stats HTTP/1.1\r\nHost: {host}:{port}\r\n"
+                    "Content-Length: 0\r\nConnection: close\r\n\r\n"
+                ).encode("latin-1")
+            )
+            await writer.drain()
+            status, _, body = await asyncio.wait_for(
+                self._read_response(reader), _PROBE_TIMEOUT
+            )
+            if status != 200:
+                raise ValueError(f"/v1/stats answered HTTP {status}")
+            stats = json.loads(body.decode("utf-8"))
+        except (OSError, asyncio.IncompleteReadError, asyncio.TimeoutError,
+                ValueError) as exc:
+            record["healthy"] = False
+            record["error"] = f"{type(exc).__name__}: {exc}"
+            return
+        finally:
+            if writer is not None:
+                writer.close()
+        replica = stats.get("replica") if isinstance(stats, dict) else None
+        if isinstance(replica, dict):
+            record["generation"] = replica.get("generation")
+            record["healthy"] = bool(replica.get("available", True))
+            record["error"] = (
+                None if record["healthy"] else "replica reports unavailable"
+            )
+        else:
+            # A plain (non-replica) server: reachable means healthy, and
+            # there is no generation to lag behind.
+            record["generation"] = None
+            record["healthy"] = True
+            record["error"] = None
+
+    def _eligible(self) -> list[int]:
+        """Backend indices currently in rotation.
+
+        With probing off, everything. Otherwise: healthy backends whose
+        generation is the newest any healthy backend reports (backends
+        with no generation — plain servers — always count as current).
+        Fails open to the full list when the prober has marked everything
+        out, so a wrong or stalled prober degrades to pre-health routing
+        instead of a self-inflicted total outage.
+        """
+        everyone = list(range(len(self.backends)))
+        if self.health_interval <= 0:
+            return everyone
+        healthy = [i for i in everyone if self.health[i]["healthy"]]
+        if not healthy:
+            return everyone
+        generations = [
+            self.health[i]["generation"]
+            for i in healthy
+            if self.health[i]["generation"] is not None
+        ]
+        if generations:
+            newest = max(generations)
+            current = [
+                i
+                for i in healthy
+                if self.health[i]["generation"] in (None, newest)
+            ]
+            if current:
+                healthy = current
+        if len(healthy) < len(everyone) and obs.enabled():
+            _UNHEALTHY_SKIPS.inc()
+        return healthy
 
     # ------------------------------------------------------------------ #
     async def _handle_connection(
@@ -141,16 +279,24 @@ class LakeFrontend:
         route = path.partition("?")[0]
         if route == "/v1/replicas" and method == "GET":
             return LakeServer._encode_response(200, self._replicas_payload())
-        attempts = len(self.backends) if _is_read_only(method, path) else 1
+        eligible = self._eligible()
+        attempts = len(eligible) if _is_read_only(method, path) else 1
         first = self._next
-        self._next = (self._next + 1) % len(self.backends)
+        self._next = (self._next + 1) % len(eligible)
         last_error: Exception | None = None
         for step in range(attempts):
-            index = (first + step) % len(self.backends)
+            index = eligible[(first + step) % len(eligible)]
             try:
                 response = await self._forward(index, method, path, headers, body)
             except (OSError, asyncio.IncompleteReadError, ValueError) as exc:
                 self.failures_by_backend[index] += 1
+                # The prober is the only path back into rotation; until it
+                # clears the backend, dispatch stops offering it traffic.
+                if self.health_interval > 0:
+                    self.health[index]["healthy"] = False
+                    self.health[index]["error"] = (
+                        f"forward failed: {type(exc).__name__}"
+                    )
                 last_error = exc
                 if step + 1 < attempts:
                     _FAILOVERS.inc()
@@ -170,17 +316,29 @@ class LakeFrontend:
         )
 
     def _replicas_payload(self) -> dict:
+        probing = self.health_interval > 0
+        eligible = set(self._eligible())
+        backends = []
+        for i, (host, port) in enumerate(self.backends):
+            entry = {
+                "host": host,
+                "port": port,
+                "requests": self.requests_by_backend[i],
+                "failures": self.failures_by_backend[i],
+            }
+            if probing:
+                entry.update(
+                    healthy=self.health[i]["healthy"],
+                    generation=self.health[i]["generation"],
+                    probes=self.health[i]["probes"],
+                    error=self.health[i]["error"],
+                    in_rotation=i in eligible,
+                )
+            backends.append(entry)
         return {
             "version": API_VERSION,
-            "backends": [
-                {
-                    "host": host,
-                    "port": port,
-                    "requests": self.requests_by_backend[i],
-                    "failures": self.failures_by_backend[i],
-                }
-                for i, (host, port) in enumerate(self.backends)
-            ],
+            "health_interval": self.health_interval,
+            "backends": backends,
         }
 
     # ------------------------------------------------------------------ #
@@ -278,10 +436,22 @@ class FrontendThread:
         backends: "list[tuple[str, int]]",
         host: str = "127.0.0.1",
         port: int = 0,
+        health_interval: float = 0.0,
     ):
-        self.frontend = LakeFrontend(backends, host=host, port=port)
+        self.frontend = LakeFrontend(
+            backends, host=host, port=port, health_interval=health_interval
+        )
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
+
+    def probe(self, timeout: float = 30.0) -> None:
+        """Run one probe round synchronously (tests use this instead of
+        waiting out the health interval)."""
+        assert self._loop is not None, "frontend not started"
+        future = asyncio.run_coroutine_threadsafe(
+            self.frontend.probe_all(), self._loop
+        )
+        future.result(timeout=timeout)
 
     @property
     def port(self) -> int:

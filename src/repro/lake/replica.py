@@ -500,6 +500,12 @@ class ReplicaService:
     def append_rows(self, name: str, rows):
         self._read_only("append_rows")
 
+    def refresh_stale(self, names=None):
+        # A replica never serves stale vectors (adoption refreshes
+        # in-memory), and its snapshot artifacts are shared read-only —
+        # an explicit persisted refresh belongs on the leader.
+        self._read_only("refresh_stale")
+
 
 __all__ = [
     "SNAPSHOT_MARKER",

@@ -19,6 +19,9 @@ Endpoints (all JSON, all versioned under ``/v1``):
                           (staged, crash-safe); answers the new version
 ``POST /v1/tables/N/rows``  ``{"rows": [[...], ...]}`` append rows; sketches
                           merge in O(delta), embedding marked stale
+``POST /v1/refresh``      eagerly re-embed stale tables (optional
+                          ``{"tables": [...]}`` restricts the sweep);
+                          answers the refreshed names
 ``DELETE /v1/tables/N``   drop one table (404 when absent)
 ``GET /v1/stats``         service statistics + schema version
 ``GET /v1/healthz``       liveness probe
@@ -429,6 +432,24 @@ class LakeServer:
                 "appended": len(raw_rows),
                 "table_version": record.version,
                 "embedding_stale": record.embedding_stale,
+            }
+        if path == "/v1/refresh" and method == "POST":
+            # Body optional: `{}` / absent refreshes everything stale,
+            # `{"tables": [...]}` restricts the sweep.
+            payload = self._decode_body(body) if body else {}
+            names = payload.get("tables")
+            if names is not None and (
+                not isinstance(names, list)
+                or not all(isinstance(name, str) for name in names)
+            ):
+                raise bad_request(
+                    "refresh 'tables' must be a list of table names"
+                )
+            refreshed = self.service.refresh_stale(names)
+            return 200, {
+                "version": API_VERSION,
+                "refreshed": refreshed,
+                "stale_remaining": len(self.service.catalog.stale_tables()),
             }
         if path.startswith("/v1/tables/") and method == "DELETE":
             name = unquote(path[len("/v1/tables/") :])

@@ -654,6 +654,17 @@ class LakeService:
                     "not-found", f"table {name!r} not in catalog"
                 ) from None
 
+    def refresh_stale(self, names: "list[str] | None" = None) -> list[str]:
+        """Eagerly re-embed stale tables (all of them, or just ``names``).
+
+        The operator/driver-facing twin of the lazy refresh a strict query
+        pays implicitly: one batched engine pass for every stale table,
+        persisted. Returns the refreshed names (names that are unknown or
+        not stale are skipped, mirroring the catalog's semantics).
+        """
+        with self._lock:
+            return self.catalog.refresh_stale(names)
+
     # ------------------------------------------------------------------ #
     def stats(self) -> dict:
         with self._lock:

@@ -1,0 +1,74 @@
+"""`repro.lakegen` — synthetic-lake scenario harness: scale, churn, scorecards.
+
+The first subsystem that *consumes* the whole lake stack instead of
+extending it. Three layers:
+
+- :mod:`repro.lakegen.generator` — a seeded synthetic-lake generator that
+  emits tables at configurable scale (10k–1M columns) with *planted,
+  exactly-known* joinable/unionable/subset ground truth recorded in a
+  byte-reproducible manifest;
+- :mod:`repro.lakegen.driver` — a churn workload driver replaying mixed
+  operation blends (ingest/append/update/remove/query/refresh with
+  configurable ratios, hot-key Zipf skew, burst arrival) against an
+  in-process :class:`~repro.lake.service.LakeService` or a live server
+  via :class:`~repro.lake.client.LakeClient`;
+- :mod:`repro.lakegen.scorecard` — a scorecard reporter computing
+  recall@k vs the planted truth and scraping ``/v1/metrics`` (latency
+  quantiles, cache/ingest counters) and ``/v1/slow_queries`` (span-tree
+  stage attribution) instead of re-deriving timings client-side, emitting
+  ``results/lakegen_scorecard.json`` with deltas vs the previous run.
+
+``python -m repro.lakegen generate | run | report`` is the CLI.
+"""
+
+from repro.lakegen.generator import (
+    LakeSpec,
+    generate_manifest,
+    iter_tables,
+    load_manifest,
+    manifest_bytes,
+    materialize_table,
+    write_manifest,
+)
+from repro.lakegen.driver import (
+    ChurnSpec,
+    ClientTarget,
+    ServiceTarget,
+    build_service,
+    evaluate_recall,
+    provision,
+    run_churn,
+    run_scenario,
+)
+from repro.lakegen.scorecard import (
+    ScorecardError,
+    build_scorecard,
+    counter_total,
+    latency_quantiles,
+    slowest_stages,
+    write_scorecard,
+)
+
+__all__ = [
+    "LakeSpec",
+    "generate_manifest",
+    "write_manifest",
+    "load_manifest",
+    "manifest_bytes",
+    "materialize_table",
+    "iter_tables",
+    "ChurnSpec",
+    "ServiceTarget",
+    "ClientTarget",
+    "build_service",
+    "provision",
+    "run_churn",
+    "evaluate_recall",
+    "run_scenario",
+    "ScorecardError",
+    "latency_quantiles",
+    "counter_total",
+    "slowest_stages",
+    "build_scorecard",
+    "write_scorecard",
+]

@@ -1,0 +1,451 @@
+"""Seeded synthetic-lake generator with planted, exactly-known ground truth.
+
+The generator emits a *manifest* — a compact, byte-reproducible JSON
+document — that fully determines a synthetic lake: every table's schema,
+seed, and relationship to its partners. Tables are materialized lazily
+from the manifest (:func:`materialize_table` / :func:`iter_tables`), so a
+million-column lake never has to exist in memory at once and two runs of
+``generate`` with the same :class:`LakeSpec` produce byte-identical
+manifests *and* cell-identical tables.
+
+Three relationship kinds are planted, each with exactly-known truth:
+
+- **join** — a partner table shares a controlled fraction of the base
+  table's key-column distincts. Key distincts are formulaic
+  (``"{table}:k{j}"``), the partner reuses the parent's first ``shared``
+  key strings and mints the rest under its own prefix, so the distinct-set
+  intersection is *exactly* ``shared`` — no sampling noise, no accidental
+  cross-table collisions.
+- **union** — a partner is the parent with its columns permuted (recorded
+  permutation) and its rows reshuffled: same column contents, different
+  presentation.
+- **subset** — a partner is a recorded row-sample of the parent (same
+  column order), so the partner's cells are a verbatim subset of the
+  parent's rows.
+
+Every planted pair lands in ``manifest["truth"]`` with the parameters the
+tests verify against (overlap fraction, permutation, row indices).
+
+Per-table seeds derive from the lake seed and the table *name* via the
+process-stable FNV hash (:func:`repro.utils.hashing.hash_string`), so
+materialization is order-independent: any table can be produced on its
+own, in any process, without replaying the generator's RNG stream.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.table.schema import Table, table_from_rows
+from repro.utils.hashing import hash_string
+
+#: Manifest schema identifier; bump on incompatible layout changes.
+MANIFEST_FORMAT = "lakegen/v1"
+
+#: Column kinds a generated table can carry. ``key`` columns hold the
+#: formulaic join-key distincts; ``text`` columns hold per-column
+#: vocabularies with Zipf-skewed frequencies; ``int``/``float`` are numeric.
+COLUMN_KINDS = ("key", "text", "int", "float")
+
+
+@dataclass(frozen=True)
+class LakeSpec:
+    """Knobs for one synthetic lake. Everything downstream — manifest,
+    tables, truth — is a pure function of this spec.
+
+    ``columns`` is the total column budget across all tables (base +
+    partners); generation stops at the first table that reaches it.
+    ``join/union/subset_fraction`` set how many base tables get a partner
+    of each kind; ``overlaps`` is cycled across join pairs so the lake
+    carries easy and hard joins at every scale. ``skew`` is the Zipf
+    exponent for value frequencies (hot values dominate, as in real lakes).
+    """
+
+    columns: int = 10_000
+    seed: int = 7
+    rows: int = 30
+    min_cols: int = 3
+    max_cols: int = 6
+    join_fraction: float = 0.15
+    union_fraction: float = 0.15
+    subset_fraction: float = 0.10
+    overlaps: tuple[float, ...] = (0.25, 0.5, 0.75)
+    subset_rows: float = 0.5
+    text_fraction: float = 0.5
+    skew: float = 1.1
+
+    def __post_init__(self) -> None:
+        if self.columns < self.min_cols:
+            raise ValueError(
+                f"column budget {self.columns} below min_cols {self.min_cols}"
+            )
+        if not 1 <= self.min_cols <= self.max_cols:
+            raise ValueError(
+                f"need 1 <= min_cols <= max_cols, got "
+                f"{self.min_cols}..{self.max_cols}"
+            )
+        if self.rows < 4:
+            raise ValueError(f"rows must be >= 4, got {self.rows}")
+        for label, fraction in (
+            ("join_fraction", self.join_fraction),
+            ("union_fraction", self.union_fraction),
+            ("subset_fraction", self.subset_fraction),
+            ("text_fraction", self.text_fraction),
+        ):
+            if not 0.0 <= fraction <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1], got {fraction}")
+        if not self.overlaps or not all(
+            0.0 < o <= 1.0 for o in self.overlaps
+        ):
+            raise ValueError(
+                f"overlaps must be non-empty fractions in (0, 1], got "
+                f"{self.overlaps}"
+            )
+        if not 0.0 < self.subset_rows <= 1.0:
+            raise ValueError(
+                f"subset_rows must be in (0, 1], got {self.subset_rows}"
+            )
+
+    def to_dict(self) -> dict:
+        payload = dataclasses.asdict(self)
+        payload["overlaps"] = list(self.overlaps)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LakeSpec":
+        payload = dict(payload)
+        payload["overlaps"] = tuple(payload.get("overlaps", cls.overlaps))
+        return cls(**payload)
+
+
+# --------------------------------------------------------------------- #
+# Seeding — every stream is named, so materialization never depends on
+# generation order or on any other table's draws.
+# --------------------------------------------------------------------- #
+def _seed(lake_seed: int, name: str, stream: str) -> int:
+    return hash_string(f"lakegen:{lake_seed}:{name}:{stream}")
+
+
+def _scheduled(index: int, fraction: float) -> bool:
+    """Evenly spread scheduling: base table ``index`` gets a partner iff
+    the running quota ``floor(i * fraction)`` ticks up at ``i + 1``."""
+    return math.floor((index + 1) * fraction) > math.floor(index * fraction)
+
+
+def _draw_cols(spec: LakeSpec, rng: np.random.Generator) -> list[list]:
+    """Draw one table's column plan: ``[kind, cardinality]`` pairs.
+
+    Column 0 is always the join-key column. Cardinalities are drawn per
+    column (skewed lakes have wide cardinality spread); numeric columns
+    carry 0 — their values are draws, not a vocabulary.
+    """
+    n_cols = int(rng.integers(spec.min_cols, spec.max_cols + 1))
+    key_card = int(rng.integers(max(4, spec.rows // 2), spec.rows + 1))
+    cols: list[list] = [["key", key_card]]
+    for _ in range(n_cols - 1):
+        if rng.random() < spec.text_fraction:
+            card = int(rng.integers(2, spec.rows + 1))
+            cols.append(["text", card])
+        else:
+            cols.append(["int" if rng.random() < 0.5 else "float", 0])
+    return cols
+
+
+def generate_manifest(spec: LakeSpec) -> dict:
+    """Plan a whole lake: table entries, ingest order, planted truth.
+
+    No cell data is generated here — only schemas, seeds, and recorded
+    decisions (permutations, row samples, shared-key counts). The result
+    is pure-Python JSON types throughout, so :func:`manifest_bytes` is
+    byte-stable.
+    """
+    tables: dict[str, dict] = {}
+    order: list[str] = []
+    truth: dict[str, list[dict]] = {"join": [], "union": [], "subset": []}
+    total_columns = 0
+    base_index = 0
+    join_index = 0
+
+    def add(name: str, entry: dict, n_cols: int) -> None:
+        nonlocal total_columns
+        tables[name] = entry
+        order.append(name)
+        total_columns += n_cols
+
+    while total_columns < spec.columns:
+        name = f"t{base_index:06d}"
+        schema_rng = np.random.default_rng(_seed(spec.seed, name, "schema"))
+        cols = _draw_cols(spec, schema_rng)
+        entry = {
+            "kind": "base",
+            "seed": _seed(spec.seed, name, "data"),
+            "n_rows": spec.rows,
+            "cols": cols,
+        }
+        add(name, entry, len(cols))
+
+        if total_columns < spec.columns and _scheduled(
+            base_index, spec.join_fraction
+        ):
+            partner = f"{name}_j"
+            overlap = spec.overlaps[join_index % len(spec.overlaps)]
+            join_index += 1
+            key_card = cols[0][1]
+            shared = max(1, int(round(overlap * key_card)))
+            partner_rng = np.random.default_rng(
+                _seed(spec.seed, partner, "schema")
+            )
+            partner_cols = _draw_cols(spec, partner_rng)
+            # The partner's key pool is the same size as the parent's, of
+            # which the first `shared` distincts are the parent's strings.
+            partner_cols[0][1] = key_card
+            add(partner, {
+                "kind": "join",
+                "seed": _seed(spec.seed, partner, "data"),
+                "parent": name,
+                "n_rows": spec.rows,
+                "cols": partner_cols,
+                "shared": shared,
+            }, len(partner_cols))
+            truth["join"].append({
+                "query": name,
+                "candidate": partner,
+                "query_column": "key",
+                "candidate_column": "key",
+                "shared": shared,
+                "query_distinct": key_card,
+                "candidate_distinct": key_card,
+                "overlap": shared / key_card,
+            })
+
+        if total_columns < spec.columns and _scheduled(
+            base_index, spec.union_fraction
+        ):
+            partner = f"{name}_u"
+            perm_rng = np.random.default_rng(
+                _seed(spec.seed, partner, "schema")
+            )
+            perm = [int(i) for i in perm_rng.permutation(len(cols))]
+            add(partner, {
+                "kind": "union",
+                "seed": _seed(spec.seed, partner, "data"),
+                "parent": name,
+                "perm": perm,
+            }, len(cols))
+            truth["union"].append({
+                "query": partner,
+                "candidate": name,
+                "perm": perm,
+            })
+
+        if total_columns < spec.columns and _scheduled(
+            base_index, spec.subset_fraction
+        ):
+            partner = f"{name}_s"
+            sample_rng = np.random.default_rng(
+                _seed(spec.seed, partner, "schema")
+            )
+            n_sample = max(1, int(round(spec.subset_rows * spec.rows)))
+            indices = sorted(
+                int(i) for i in sample_rng.choice(
+                    spec.rows, size=n_sample, replace=False
+                )
+            )
+            add(partner, {
+                "kind": "subset",
+                "seed": _seed(spec.seed, partner, "data"),
+                "parent": name,
+                "indices": indices,
+            }, len(cols))
+            truth["subset"].append({
+                "query": partner,
+                "candidate": name,
+                "n_rows": len(indices),
+                "parent_rows": spec.rows,
+            })
+
+        base_index += 1
+
+    return {
+        "format": MANIFEST_FORMAT,
+        "spec": spec.to_dict(),
+        "order": order,
+        "tables": tables,
+        "truth": truth,
+        "totals": {
+            "tables": len(tables),
+            "columns": total_columns,
+            "base_tables": base_index,
+            "join_pairs": len(truth["join"]),
+            "union_pairs": len(truth["union"]),
+            "subset_pairs": len(truth["subset"]),
+        },
+    }
+
+
+# --------------------------------------------------------------------- #
+# Serialization — byte-stable by construction.
+# --------------------------------------------------------------------- #
+def manifest_bytes(manifest: dict) -> bytes:
+    """Canonical encoding: compact separators, sorted keys, one trailing
+    newline. Two identical manifests are byte-identical on disk."""
+    return (
+        json.dumps(manifest, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def write_manifest(manifest: dict, path: str | os.PathLike) -> Path:
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_bytes(manifest_bytes(manifest))
+    return p
+
+
+def load_manifest(path: str | os.PathLike) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    fmt = manifest.get("format")
+    if fmt != MANIFEST_FORMAT:
+        raise ValueError(
+            f"unsupported manifest format {fmt!r} (expected "
+            f"{MANIFEST_FORMAT!r})"
+        )
+    return manifest
+
+
+# --------------------------------------------------------------------- #
+# Materialization — any table, standalone, from its manifest entry.
+# --------------------------------------------------------------------- #
+def _key_distincts(name: str, cardinality: int) -> list[str]:
+    """The formulaic key vocabulary. Per-table prefixes make cross-table
+    intersections exactly the *planted* sharing and nothing else."""
+    return [f"{name}:k{j}" for j in range(cardinality)]
+
+
+def _fill_column(
+    distincts: list[str], n_rows: int, rng: np.random.Generator, skew: float
+) -> list[str]:
+    """``n_rows`` cells covering *every* distinct at least once, the
+    remainder Zipf-skewed toward the head, in shuffled row order.
+
+    The full-coverage guarantee is what makes planted overlaps exact: the
+    column's distinct set equals ``distincts`` verbatim.
+    """
+    if len(distincts) > n_rows:
+        raise ValueError(
+            f"cardinality {len(distincts)} exceeds {n_rows} rows"
+        )
+    values = list(distincts)
+    extra = n_rows - len(values)
+    if extra > 0:
+        ranks = np.arange(1, len(distincts) + 1, dtype=np.float64)
+        weights = ranks ** -skew
+        weights /= weights.sum()
+        picks = rng.choice(len(distincts), size=extra, p=weights)
+        values.extend(distincts[int(i)] for i in picks)
+    rng.shuffle(values)
+    return values
+
+
+def _materialize_base_like(
+    name: str, entry: dict, skew: float, description: str
+) -> Table:
+    """Build a base or join-partner table from its column plan."""
+    rng = np.random.default_rng(entry["seed"])
+    n_rows = entry["n_rows"]
+    columns: list[tuple[str, list[str]]] = []
+    for j, (kind, cardinality) in enumerate(entry["cols"]):
+        header = "key" if kind == "key" else f"c{j}"
+        if kind == "key":
+            if entry["kind"] == "join":
+                parent = entry["parent"]
+                shared = entry["shared"]
+                distincts = _key_distincts(parent, shared) + [
+                    f"{name}:k{j2}" for j2 in range(cardinality - shared)
+                ]
+            else:
+                distincts = _key_distincts(name, cardinality)
+            values = _fill_column(distincts, n_rows, rng, skew)
+        elif kind == "text":
+            distincts = [f"{name}:c{j}:v{v}" for v in range(cardinality)]
+            values = _fill_column(distincts, n_rows, rng, skew)
+        elif kind == "int":
+            values = [str(int(v)) for v in rng.integers(0, 1_000_000, n_rows)]
+        elif kind == "float":
+            values = [f"{v:.4f}" for v in rng.normal(0.0, 1000.0, n_rows)]
+        else:  # pragma: no cover - manifest corruption
+            raise ValueError(f"unknown column kind {kind!r}")
+        columns.append((header, values))
+    rows = [
+        [values[i] for _, values in columns] for i in range(n_rows)
+    ]
+    return table_from_rows(
+        name, [header for header, _ in columns], rows, description=description
+    )
+
+
+def materialize_table(manifest: dict, name: str) -> Table:
+    """Materialize one table — base or partner — from the manifest alone."""
+    entry = manifest["tables"].get(name)
+    if entry is None:
+        raise KeyError(f"manifest has no table {name!r}")
+    spec = manifest["spec"]
+    kind = entry["kind"]
+    if kind in ("base", "join"):
+        description = (
+            f"synthetic base table {name}"
+            if kind == "base"
+            else f"synthetic join partner of {entry['parent']}"
+        )
+        return _materialize_base_like(name, entry, spec["skew"], description)
+    parent = materialize_table(manifest, entry["parent"])
+    if kind == "union":
+        rng = np.random.default_rng(entry["seed"])
+        row_order = rng.permutation(parent.n_rows)
+        columns = [parent.columns[i] for i in entry["perm"]]
+        rows = [[col.values[int(i)] for col in columns] for i in row_order]
+        return table_from_rows(
+            name,
+            [col.name for col in columns],
+            rows,
+            description=f"synthetic union partner of {entry['parent']}",
+        )
+    if kind == "subset":
+        rows = [parent.row(i) for i in entry["indices"]]
+        return table_from_rows(
+            name,
+            parent.header,
+            rows,
+            description=f"synthetic subset of {entry['parent']}",
+        )
+    raise ValueError(f"unknown table kind {kind!r}")  # pragma: no cover
+
+
+def iter_tables(manifest: dict) -> Iterator[Table]:
+    """All tables in ingest order, materialized one at a time."""
+    for name in manifest["order"]:
+        yield materialize_table(manifest, name)
+
+
+def make_distractor(spec: LakeSpec, name: str, seed: int) -> Table:
+    """A fresh base-shaped table *outside* the manifest (fresh key prefix,
+    so it intersects nothing planted). The churn driver ingests these as
+    distractors without perturbing the recorded ground truth."""
+    schema_rng = np.random.default_rng(_seed(seed, name, "schema"))
+    entry = {
+        "kind": "base",
+        "seed": _seed(seed, name, "data"),
+        "n_rows": spec.rows,
+        "cols": _draw_cols(spec, schema_rng),
+    }
+    return _materialize_base_like(
+        name, entry, spec.skew, description=f"churn distractor {name}"
+    )

@@ -1,0 +1,108 @@
+"""Eager stale-refresh: service surface, HTTP endpoint, replica refusal,
+and the CLI wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lake.api import DiscoveryError, DiscoveryRequest
+from repro.lake.catalog import LakeCatalog
+from repro.lake.client import LakeClient
+from repro.lake.replica import ReplicaService, SnapshotPublisher
+from repro.lake.server import ServerThread
+from repro.lake.service import LakeService
+from repro.lake.store import LakeStore
+
+
+@pytest.fixture()
+def service(lake_embedder, lake_tables) -> LakeService:
+    catalog = LakeCatalog(lake_embedder)
+    catalog.add_tables(dict(lake_tables))
+    service = LakeService(catalog)
+    service.tables = lake_tables
+    return service
+
+
+def _make_stale(service: LakeService, name: str) -> None:
+    service.append_rows(name, [service.tables[name].row(0)])
+
+
+# --------------------------------------------------------------------- #
+def test_refresh_stale_sweeps_everything(service):
+    for name in ("g0t0", "g1t1"):
+        _make_stale(service, name)
+    assert set(service.catalog.stale_tables()) == {"g0t0", "g1t1"}
+    refreshed = service.refresh_stale()
+    assert set(refreshed) == {"g0t0", "g1t1"}
+    assert service.catalog.stale_tables() == []
+    # A second sweep is a no-op, not an error.
+    assert service.refresh_stale() == []
+
+
+def test_refresh_stale_restricted_to_names(service):
+    for name in ("g0t0", "g1t1"):
+        _make_stale(service, name)
+    assert service.refresh_stale(["g0t0"]) == ["g0t0"]
+    assert service.catalog.stale_tables() == ["g1t1"]
+    # Unknown and non-stale names are skipped, not errors.
+    assert service.refresh_stale(["no-such-table", "g0t0"]) == []
+    assert service.catalog.stale_tables() == ["g1t1"]
+
+
+def test_refreshed_table_answers_strict_queries_identically(service):
+    """After an eager refresh, a strict query needs no lazy re-embed and
+    ranks exactly as a lazily-refreshed one would."""
+    _make_stale(service, "g0t0")
+    request = DiscoveryRequest(mode="union", k=5, table="g0t0")
+    lazy = LakeService(service.catalog)  # shares the catalog
+    service.refresh_stale()
+    eager_hits = [hit.table for hit in service.discover(request).hits]
+    lazy_hits = [hit.table for hit in lazy.discover(request).hits]
+    assert eager_hits == lazy_hits
+
+
+# --------------------------------------------------------------------- #
+def test_refresh_endpoint_roundtrip(service):
+    _make_stale(service, "g0t0")
+    _make_stale(service, "g2t2")
+    with ServerThread(service) as server:
+        with LakeClient(port=server.port) as client:
+            answer = client.refresh_stale(["g0t0"])
+            assert answer["refreshed"] == ["g0t0"]
+            assert answer["stale_remaining"] == 1
+            answer = client.refresh_stale()
+            assert answer["refreshed"] == ["g2t2"]
+            assert answer["stale_remaining"] == 0
+
+
+def test_refresh_endpoint_validates_payload(service):
+    with ServerThread(service) as server:
+        with LakeClient(port=server.port) as client:
+            with pytest.raises(DiscoveryError) as excinfo:
+                client._request(
+                    "POST", "/v1/refresh", {"tables": "not-a-list"}
+                )
+            assert excinfo.value.code == "bad-request"
+
+
+def test_replica_refuses_refresh(tmp_path, lake_embedder, lake_tables):
+    root = tmp_path / "lake"
+    catalog = LakeCatalog(lake_embedder, store=LakeStore(root, "fp"))
+    catalog.add_tables(dict(lake_tables))
+    SnapshotPublisher(root, tmp_path / "snaps").publish()
+    replica = ReplicaService(lake_embedder, tmp_path / "snaps")
+    with pytest.raises(DiscoveryError) as excinfo:
+        replica.refresh_stale()
+    assert excinfo.value.code == "bad-request"
+    assert "read-only" in excinfo.value.message
+
+
+# --------------------------------------------------------------------- #
+def test_cli_refresh_parses(capsys):
+    from repro.lake.__main__ import build_parser
+
+    args = build_parser().parse_args(
+        ["refresh", "--server", "127.0.0.1:1", "--tables", "a,b"]
+    )
+    assert args.func.__name__ == "cmd_refresh"
+    assert args.tables == "a,b"

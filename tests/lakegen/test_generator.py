@@ -1,0 +1,145 @@
+"""Generator guarantees: byte-determinism and exactly-valid planted truth."""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+
+from repro.lakegen.generator import (
+    LakeSpec,
+    generate_manifest,
+    iter_tables,
+    load_manifest,
+    make_distractor,
+    manifest_bytes,
+    materialize_table,
+    write_manifest,
+)
+
+
+@pytest.fixture(scope="module")
+def spec() -> LakeSpec:
+    return LakeSpec(columns=300, seed=7)
+
+
+@pytest.fixture(scope="module")
+def manifest(spec) -> dict:
+    return generate_manifest(spec)
+
+
+def _distincts(manifest: dict, name: str, column: str) -> set:
+    table = materialize_table(manifest, name)
+    return set(table.columns[table.header.index(column)].values)
+
+
+# --------------------------------------------------------------------- #
+# Determinism
+# --------------------------------------------------------------------- #
+def test_same_seed_byte_identical_manifest(spec):
+    first = manifest_bytes(generate_manifest(spec))
+    second = manifest_bytes(generate_manifest(spec))
+    assert first == second
+
+
+def test_same_seed_identical_tables(spec, manifest):
+    other = generate_manifest(spec)
+    for name in manifest["order"]:
+        ours = materialize_table(manifest, name)
+        theirs = materialize_table(other, name)
+        assert ours.header == theirs.header
+        for a, b in zip(ours.columns, theirs.columns):
+            assert a.values == b.values
+
+
+def test_different_seed_differs(spec):
+    other = LakeSpec(columns=spec.columns, seed=spec.seed + 1)
+    assert manifest_bytes(generate_manifest(spec)) != manifest_bytes(
+        generate_manifest(other)
+    )
+
+
+def test_manifest_roundtrip(tmp_path, manifest):
+    path = tmp_path / "manifest.json"
+    write_manifest(manifest, path)
+    loaded = load_manifest(path)
+    assert manifest_bytes(loaded) == manifest_bytes(manifest)
+
+
+def test_load_rejects_foreign_format(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"format": "something-else"}')
+    with pytest.raises(ValueError):
+        load_manifest(path)
+
+
+def test_column_budget_and_totals(manifest):
+    totals = manifest["totals"]
+    by_iter = sum(table.n_cols for table in iter_tables(manifest))
+    assert by_iter == totals["columns"]
+    assert totals["columns"] >= 300
+    assert totals["tables"] == len(manifest["order"])
+    assert totals["join_pairs"] == len(manifest["truth"]["join"])
+    assert totals["union_pairs"] == len(manifest["truth"]["union"])
+    assert totals["subset_pairs"] == len(manifest["truth"]["subset"])
+    assert totals["join_pairs"] > 0
+    assert totals["union_pairs"] > 0
+    assert totals["subset_pairs"] > 0
+
+
+# --------------------------------------------------------------------- #
+# Truth validity: every planted pair satisfies its recorded spec exactly
+# --------------------------------------------------------------------- #
+def test_join_truth_overlaps_are_exact(manifest):
+    for entry in manifest["truth"]["join"]:
+        query = _distincts(manifest, entry["query"], entry["query_column"])
+        candidate = _distincts(
+            manifest, entry["candidate"], entry["candidate_column"]
+        )
+        assert len(query) == entry["query_distinct"]
+        assert len(candidate) == entry["candidate_distinct"]
+        assert len(query & candidate) == entry["shared"]
+        # The recorded overlap fraction is shared / query-distincts.
+        assert entry["overlap"] == pytest.approx(
+            entry["shared"] / entry["query_distinct"]
+        )
+
+
+def test_union_truth_is_column_permutation(manifest):
+    for entry in manifest["truth"]["union"]:
+        partner = materialize_table(manifest, entry["query"])
+        base = materialize_table(manifest, entry["candidate"])
+        perm = entry["perm"]
+        assert sorted(perm) == list(range(base.n_cols))
+        for out_idx, src_idx in enumerate(perm):
+            ours = collections.Counter(partner.columns[out_idx].values)
+            theirs = collections.Counter(base.columns[src_idx].values)
+            assert ours == theirs
+
+
+def test_subset_truth_rows_come_from_parent(manifest):
+    for entry in manifest["truth"]["subset"]:
+        partner = materialize_table(manifest, entry["query"])
+        base = materialize_table(manifest, entry["candidate"])
+        parent_rows = {tuple(base.row(i)) for i in range(base.n_rows)}
+        assert partner.n_rows == entry["n_rows"]
+        assert entry["n_rows"] < entry["parent_rows"] == base.n_rows
+        for i in range(partner.n_rows):
+            assert tuple(partner.row(i)) in parent_rows
+
+
+def test_distractor_is_disjoint_from_planted_keys(manifest):
+    spec = LakeSpec.from_dict(manifest["spec"])
+    distractor = make_distractor(spec, "churn00000", 99)
+    noise = set(distractor.columns[0].values)
+    for name in manifest["order"][:20]:
+        assert not (_distincts(manifest, name, "key") & noise)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        LakeSpec(columns=0)
+    with pytest.raises(ValueError):
+        LakeSpec(columns=100, join_fraction=1.5)
+    with pytest.raises(ValueError):
+        LakeSpec(columns=100, overlaps=())

@@ -1,0 +1,180 @@
+"""Churn driver + scorecard: truth-preserving churn, recall evaluation,
+metrics reconciliation, and scorecard deltas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.lakegen.driver import (
+    ChurnSpec,
+    DEFAULT_BLEND,
+    ServiceTarget,
+    build_service,
+    evaluate_recall,
+    parse_blend,
+    provision,
+    run_churn,
+    run_scenario,
+)
+from repro.lakegen.generator import LakeSpec, generate_manifest
+from repro.lakegen.scorecard import (
+    ScorecardError,
+    build_scorecard,
+    counter_total,
+    latency_quantiles,
+    slowest_stages,
+    write_scorecard,
+)
+
+
+@pytest.fixture(scope="module")
+def manifest() -> dict:
+    return generate_manifest(LakeSpec(columns=120, seed=7))
+
+
+@pytest.fixture(scope="module")
+def scenario_run(manifest) -> dict:
+    """One provision -> churn -> eval cycle, shared across assertions
+    (building the embedding stack dominates the test's cost)."""
+    obs.get_registry().reset()
+    target = ServiceTarget(build_service(manifest, sample_tables=16))
+    return run_scenario(
+        target, manifest, ChurnSpec(ops=50, seed=11), k=10, max_eval=20
+    )
+
+
+# --------------------------------------------------------------------- #
+# Driver
+# --------------------------------------------------------------------- #
+def test_scenario_provisions_everything(scenario_run, manifest):
+    assert scenario_run["provisioned"] == len(manifest["order"])
+    assert scenario_run["format"] == "lakegen-run/v1"
+    assert scenario_run["target"] == {
+        "kind": "service",
+        "metrics_source": "registry",
+    }
+
+
+def test_churn_is_truth_preserving(scenario_run):
+    churn = scenario_run["churn"]
+    assert sum(churn["counts"].values()) == 50
+    # No typed errors: pinned strict queries succeed because the driver
+    # tracks every version bump it causes.
+    assert churn["errors"] == {}
+    # Removes only ever touched churn-ingested distractors.
+    assert churn["distractors_ingested"] >= churn["counts"]["remove"]
+
+
+def test_recall_evaluates_against_planted_truth(scenario_run, manifest):
+    recall = scenario_run["recall"]
+    assert set(recall) == {"join", "union", "subset"}
+    for mode, stats in recall.items():
+        assert stats["planted"] == len(manifest["truth"][mode])
+        assert stats["evaluated"] >= 1
+        assert 0.0 <= stats["recall_at_k"] <= 1.0
+        assert 0.0 <= stats["mrr"] <= stats["recall_at_k"]
+    # Union partners are column permutations — the representation is
+    # permutation-invariant, so planted unions must rank near-perfectly
+    # even after churn.
+    assert recall["union"]["recall_at_k"] >= 0.5
+
+
+def test_metrics_scraped_not_timed(scenario_run):
+    envelope = scenario_run["metrics"]
+    assert envelope["enabled"] is True
+    histogram = envelope["metrics"]["lake_query_duration_ms"]
+    total = sum(v["count"] for v in histogram["values"])
+    # Every churn query AND every eval query went through the histogram.
+    churn_queries = scenario_run["churn"]["counts"]["query"]
+    evaluated = sum(s["evaluated"] for s in scenario_run["recall"].values())
+    assert total >= churn_queries + evaluated
+
+
+def test_churn_spec_validation():
+    with pytest.raises(ValueError):
+        ChurnSpec(ops=-1)
+    with pytest.raises(ValueError):
+        ChurnSpec(blend=(("query", 0.0),))
+    with pytest.raises(ValueError):
+        ChurnSpec(blend=(("teleport", 1.0),))
+    with pytest.raises(ValueError):
+        ChurnSpec(stale_fraction=1.5)
+
+
+def test_parse_blend():
+    blend = parse_blend("query=3,append=1")
+    assert blend == (("query", 3.0), ("append", 1.0))
+    with pytest.raises(ValueError):
+        parse_blend("warp=1")
+    with pytest.raises(ValueError):
+        parse_blend("query=zero")
+    with pytest.raises(ValueError):
+        parse_blend("query=0")
+    assert dict(DEFAULT_BLEND)["query"] > 0
+
+
+# --------------------------------------------------------------------- #
+# Scorecard
+# --------------------------------------------------------------------- #
+def test_latency_quantiles_reconcile_with_buckets(scenario_run):
+    metrics = scenario_run["metrics"]["metrics"]
+    latency = latency_quantiles(metrics)
+    assert latency  # at least one mode was queried
+    for stats in latency.values():
+        assert stats["count"] > 0
+        assert stats["p50"] is not None
+        assert stats["p50"] <= stats["p95"] <= stats["p99"]
+
+
+def test_reconciliation_rejects_tampered_quantiles(scenario_run):
+    import copy
+
+    metrics = copy.deepcopy(scenario_run["metrics"]["metrics"])
+    values = metrics["lake_query_duration_ms"]["values"]
+    values[0]["p95"] = (values[0]["p95"] or 0.0) + 123.0
+    with pytest.raises(ScorecardError, match="does not reconcile"):
+        latency_quantiles(metrics)
+
+
+def test_reconciliation_rejects_broken_buckets(scenario_run):
+    import copy
+
+    metrics = copy.deepcopy(scenario_run["metrics"]["metrics"])
+    values = metrics["lake_query_duration_ms"]["values"]
+    del values[0]["buckets"]["+Inf"]
+    with pytest.raises(ScorecardError, match="malformed buckets"):
+        latency_quantiles(metrics)
+
+
+def test_counter_total_and_slowest_stages(scenario_run):
+    metrics = scenario_run["metrics"]["metrics"]
+    queries = counter_total(metrics, "lake_queries_total")
+    assert queries and queries > 0
+    assert counter_total(metrics, "lake_queries_total", mode="join") <= queries
+    assert counter_total(metrics, "no_such_series") is None
+    slowest = slowest_stages(scenario_run["slow_queries"])
+    assert len(slowest) <= 3
+    for entry in slowest:
+        assert entry["total_ms"] > 0
+        assert entry["stage"] is not None
+
+
+def test_scorecard_history_and_deltas(tmp_path, scenario_run):
+    path = tmp_path / "scorecard.json"
+    first = write_scorecard(scenario_run, path=str(path))
+    assert first["previous"] is None and first["deltas"] == {}
+    second = write_scorecard(scenario_run, path=str(path))
+    assert second["previous"] is not None
+    # Identical runs -> zero deltas on every mode and quantile.
+    for delta in second["deltas"]["recall"].values():
+        assert delta["recall_at_k"] == 0.0
+    for delta in second["deltas"]["latency_ms"].values():
+        assert delta["p95"] == 0.0
+    third = write_scorecard(scenario_run, path=str(path))
+    assert len(third["runs"]) == 2  # bounded history accumulates
+
+
+def test_build_scorecard_rejects_foreign_records():
+    with pytest.raises(ScorecardError):
+        build_scorecard({"format": "something/v9"})
